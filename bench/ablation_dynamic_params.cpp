@@ -1,0 +1,75 @@
+// Ablation: Algorithm 4's design parameters.
+//
+// The paper fixes the "large frontier" threshold at 50% of the peak and
+// notes that "using more than 2 phases can be explored, but it will also
+// imply more kernel launches". This ablation sweeps the threshold
+// fraction and the bounded-queue safety margin on the pre2 stand-in,
+// showing the trade-off: a low threshold moves work into the full-size
+// partition (losing the occupancy win); a high threshold shrinks queue
+// bounds until overflow rework eats the gain.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/device.hpp"
+#include "symbolic/fill2.hpp"
+
+using namespace e2elu;
+
+int main() {
+  constexpr index_t kScale = 64;
+  std::printf("=== Ablation: dynamic-assignment threshold fraction and "
+              "queue margin (pre2 stand-in) ===\n");
+
+  SuiteEntry pr;
+  for (SuiteEntry& e : table2_suite(kScale)) {
+    if (e.abbr == "PR") pr = std::move(e);
+  }
+  const bench::PreparedMatrix p = bench::prepare(pr.matrix);
+  const Csr& a = p.preprocessed;
+  const std::size_t sym_resident =
+      (static_cast<std::size_t>(a.n) + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(a.nnz()) * sizeof(index_t) +
+      static_cast<std::size_t>(a.n) * sizeof(index_t) +
+      static_cast<std::size_t>(p.fill_nnz) * sizeof(index_t);
+  const gpusim::DeviceSpec spec = bench::scaled_spec(
+      sym_resident + 100 * symbolic::scratch_bytes_per_row(a.n), kScale);
+
+  gpusim::Device d_naive(spec);
+  symbolic::symbolic_out_of_core(d_naive, a);
+  const double t_naive = d_naive.stats().sim_total_us();
+  std::printf("naive out-of-core baseline: %.0fus\n\n", t_naive);
+
+  std::printf("%9s %7s | %10s %8s\n", "fraction", "margin", "dynamic",
+              "vs naive");
+  bench::print_rule(42);
+  for (double fraction : {0.25, 0.5, 0.75}) {
+    for (double margin : {1.25, 2.0, 4.0}) {
+      symbolic::SymbolicOptions opt;
+      opt.large_frontier_fraction = fraction;
+      opt.queue_bound_margin = margin;
+      gpusim::Device dev(spec);
+      symbolic::symbolic_out_of_core_dynamic(dev, a, opt);
+      const double t = dev.stats().sim_total_us();
+      std::printf("%9.2f %7.2f | %8.0fus %+7.1f%%\n", fraction, margin, t,
+                  100.0 * (t_naive - t) / t_naive);
+      std::fflush(stdout);
+    }
+  }
+  // Part-count sweep: §3.2 notes that "using more than 2 phases can be
+  // explored, but it will also imply more kernel launches".
+  std::printf("\n%7s | %10s %8s %8s\n", "parts", "dynamic", "iters",
+              "vs naive");
+  bench::print_rule(40);
+  for (index_t parts : {1, 2, 3, 4, 6}) {
+    gpusim::Device dev(spec);
+    const symbolic::SymbolicResult r =
+        symbolic::symbolic_out_of_core_multipart(dev, a, parts);
+    const double t = dev.stats().sim_total_us();
+    std::printf("%7d | %8.0fus %8d %+7.1f%%\n", parts, t, r.num_chunks,
+                100.0 * (t_naive - t) / t_naive);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper's choice: fraction 0.5 with 2 partitions\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation (google-benchmark): element access into a sorted CSC column —
+// Algorithm 6's binary search vs a linear scan vs dense direct indexing.
+//
+// This isolates the §3.4 trade-off at the micro level: dense access is
+// O(1) but needs the O(n)-per-column window; binary search costs
+// O(log nnz(col)) on the nnz-sized structure; linear scan (the naive
+// sparse alternative the paper's design implicitly rejects) is
+// O(nnz(col)).
+
+#include <benchmark/benchmark.h>
+
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "numeric/column_kernel.hpp"
+#include "support/rng.hpp"
+
+using namespace e2elu;
+
+namespace {
+
+struct Fixture {
+  Csc csc;
+  std::vector<value_t> dense_col;
+  std::vector<std::pair<index_t, index_t>> queries;  // (col, row)
+
+  explicit Fixture(index_t col_len) {
+    const index_t n = 4096;
+    Csr a = gen_banded(n, col_len, static_cast<double>(col_len), 99);
+    csc = csr_to_csc(a);
+    dense_col.assign(n, value_t{1});
+    Rng rng(7);
+    for (int q = 0; q < 4096; ++q) {
+      const index_t j = static_cast<index_t>(rng.next_below(n));
+      const offset_t len = csc.col_ptr[j + 1] - csc.col_ptr[j];
+      if (len == 0) continue;
+      const offset_t pick = csc.col_ptr[j] + static_cast<offset_t>(
+                                                 rng.next_below(len));
+      queries.emplace_back(j, csc.row_idx[pick]);
+    }
+  }
+};
+
+void BM_BinarySearch(benchmark::State& state) {
+  Fixture f(static_cast<index_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const auto& [j, i] = f.queries[qi++ % f.queries.size()];
+    std::uint64_t ops = 0;
+    benchmark::DoNotOptimize(numeric::detail::bsearch_position(f.csc, j, i, ops));
+  }
+}
+
+void BM_LinearScan(benchmark::State& state) {
+  Fixture f(static_cast<index_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const auto& [j, i] = f.queries[qi++ % f.queries.size()];
+    offset_t pos = -1;
+    for (offset_t p = f.csc.col_ptr[j]; p < f.csc.col_ptr[j + 1]; ++p) {
+      if (f.csc.row_idx[p] == i) {
+        pos = p;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(pos);
+  }
+}
+
+void BM_DenseDirect(benchmark::State& state) {
+  Fixture f(static_cast<index_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const auto& [j, i] = f.queries[qi++ % f.queries.size()];
+    benchmark::DoNotOptimize(f.dense_col[i] + static_cast<value_t>(j));
+  }
+}
+
+BENCHMARK(BM_BinarySearch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_LinearScan)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_DenseDirect)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

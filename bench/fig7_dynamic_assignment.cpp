@@ -1,0 +1,74 @@
+// Figure 7: out-of-core symbolic factorization with dynamic parallelism
+// assignment (Algorithm 4) vs the naive fixed-chunk version (Algorithm 3),
+// on two large matrices (the paper uses pre2 and inline_1, chosen because
+// they need many out-of-core iterations).
+//
+// Paper result being reproduced: up to ~10% improvement, limited because
+// the high-frontier rows — where most of the work lives — still need
+// full-size scratch and therefore the small chunks.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gpusim/device.hpp"
+#include "matrix/generators.hpp"
+#include "symbolic/fill2.hpp"
+
+using namespace e2elu;
+
+int main() {
+  constexpr index_t kScale = 64;
+  std::printf("=== Figure 7: dynamic parallelism assignment vs naive "
+              "out-of-core symbolic ===\n");
+  std::printf("%-5s %7s | %10s %7s %6s | %10s %7s %6s | %8s\n", "abbr", "n",
+              "naive", "chunks", "iters", "dynamic", "chunks", "iters",
+              "improv");
+  bench::print_rule(90);
+
+  // The two profiled large matrices, as in Figure 3: pre2 and an
+  // audikw_1-class stand-in. Both show the growing frontier profile the
+  // two-part assignment exploits (a flat-profile matrix gains nothing:
+  // its planner collapses the first partition to zero rows).
+  std::vector<SuiteEntry> cases;
+  for (SuiteEntry& e : table2_suite(kScale)) {
+    if (e.abbr == "PR") cases.push_back(std::move(e));
+  }
+  cases.push_back({"audikw_1", "AU", 943695, 77651847,
+                   gen_circuit(943695 / 128, 40.0, 6, 48, 0xadd1u)});
+
+  for (const SuiteEntry& e : cases) {
+    const bench::PreparedMatrix p = bench::prepare(e.matrix);
+    // Tighter memory than the Table 2 regime: after the resident matrix
+    // and outputs, only ~100 full-size rows of scratch fit, so the naive
+    // version runs below full occupancy (100 < TB_max = 160) and the
+    // bounded-queue partition has parallelism headroom to reclaim.
+    const Csr& a = p.preprocessed;
+    const std::size_t sym_resident =
+        (static_cast<std::size_t>(a.n) + 1) * sizeof(offset_t) +
+        static_cast<std::size_t>(a.nnz()) * sizeof(index_t) +
+        static_cast<std::size_t>(a.n) * sizeof(index_t) +
+        static_cast<std::size_t>(p.fill_nnz) * sizeof(index_t);
+    const gpusim::DeviceSpec spec = bench::scaled_spec(
+        sym_resident + 100 * symbolic::scratch_bytes_per_row(a.n), kScale);
+
+    gpusim::Device d_naive(spec), d_dyn(spec);
+    const symbolic::SymbolicResult naive =
+        symbolic::symbolic_out_of_core(d_naive, p.preprocessed);
+    const symbolic::SymbolicResult dyn =
+        symbolic::symbolic_out_of_core_dynamic(d_dyn, p.preprocessed);
+    E2ELU_CHECK(same_pattern(naive.filled, dyn.filled));
+
+    const double t_naive = d_naive.stats().sim_total_us();
+    const double t_dyn = d_dyn.stats().sim_total_us();
+    std::printf("%-5s %7d | %8.0fus %7d %6d | %8.0fus %7d %6d | %7.1f%%\n",
+                e.abbr.c_str(), e.matrix.n, t_naive, naive.chunk_rows,
+                naive.num_chunks, t_dyn, dyn.chunk_rows, dyn.num_chunks,
+                100.0 * (t_naive - t_dyn) / t_naive);
+    std::fflush(stdout);
+  }
+  bench::print_rule(90);
+  std::printf("paper: dynamic assignment improves symbolic time by up to "
+              "~10%%\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 8: normalized numeric factorization times — sorted-CSC binary
+// search (Algorithm 6) vs the original dense-format implementation — on
+// the Table 4 matrices, under the memory regime where the dense format's
+// resident-column cap M falls below TB_max.
+//
+// Paper result being reproduced: the binary-search implementation wins by
+// 2.88-3.33x because whole levels factorize at full occupancy while the
+// dense format is throttled to M concurrent columns (plus the
+// scatter/gather traffic of streaming columns through the window).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/device.hpp"
+#include "numeric/numeric.hpp"
+#include "scheduling/levelize.hpp"
+
+using namespace e2elu;
+
+int main() {
+  constexpr index_t kScale = 64;
+  std::printf("=== Figure 8: binary-search (sparse) vs dense-format "
+              "numeric factorization ===\n");
+  std::printf("%-18s %8s %7s | %10s %6s %7s | %10s | %8s\n", "matrix", "n",
+              "levels", "dense", "M", "batches", "bsearch", "speedup");
+  bench::print_rule(96);
+
+  double lo = 1e30, hi = 0;
+  for (const SuiteEntry& e : table4_suite(kScale)) {
+    // Table 4 preparation: these matrices are not full-rank; following
+    // §4.4, zero diagonals are patched (the generator already plants the
+    // patched diagonal) and no reordering is applied (the meshes are
+    // already local). The symbolic pattern comes from the fast row-merge
+    // (prep is not part of the timed comparison).
+    const Csr filled = symbolic::symbolic_rowmerge(e.matrix);
+    const scheduling::LevelSchedule schedule = scheduling::levelize_sequential(
+        scheduling::build_dependency_graph(filled));
+
+    const gpusim::DeviceSpec spec =
+        bench::scaled_spec(table4_device_memory_bytes(kScale), kScale);
+
+    gpusim::Device d_dense(spec);
+    numeric::FactorMatrix m_dense = numeric::FactorMatrix::build(filled, e.matrix);
+    const numeric::NumericStats dense =
+        numeric::factorize_dense_window(d_dense, m_dense, schedule);
+    const double t_dense = d_dense.stats().sim_total_us();
+
+    gpusim::Device d_sparse(spec);
+    numeric::FactorMatrix m_sparse =
+        numeric::FactorMatrix::build(filled, e.matrix);
+    numeric::factorize_sparse_bsearch(d_sparse, m_sparse, schedule);
+    const double t_sparse = d_sparse.stats().sim_total_us();
+
+    E2ELU_CHECK(m_dense.csc.values == m_sparse.csc.values);
+
+    const double speedup = t_dense / t_sparse;
+    lo = std::min(lo, speedup);
+    hi = std::max(hi, speedup);
+    std::printf("%-18s %8d %7d | %8.0fus %6d %7d | %8.0fus | %7.2fx\n",
+                e.name.c_str(), e.matrix.n, schedule.num_levels(), t_dense,
+                dense.window_columns, dense.num_batches, t_sparse, speedup);
+    std::fflush(stdout);
+  }
+  bench::print_rule(96);
+  std::printf("binary-search speedup: %.2f - %.2fx (paper: 2.88 - 3.33x; "
+              "paper fixes the sparse version's grid at 160 blocks)\n", lo,
+              hi);
+  return 0;
+}

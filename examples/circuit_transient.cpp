@@ -1,0 +1,58 @@
+// Circuit transient simulation — the paper's motivating application
+// (SPICE-style solvers factorize once per operating point and then
+// back-substitute for many time steps).
+//
+// We build an RC ladder network with rail (hub) nodes, factorize its
+// conductance matrix once with the end-to-end GPU pipeline, then run a
+// transient sweep: at each time step only the right-hand side (source
+// currents) changes, so each step is two triangular solves against the
+// cached factors.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/sparse_lu.hpp"
+#include "matrix/generators.hpp"
+#include "support/timer.hpp"
+
+using namespace e2elu;
+
+int main() {
+  const index_t n = 8'000;
+  const Csr g = gen_circuit(n, 6.0, /*num_hubs=*/4, /*hub_degree=*/32, 2024);
+
+  Options options;
+  options.device = gpusim::DeviceSpec::v100_with_memory(256u << 20);
+  SparseLU lu(options);
+
+  WallTimer factor_timer;
+  const FactorResult f = lu.factorize(g);
+  std::printf("conductance matrix: n=%d nnz=%lld fill=%lld (%.1fx), "
+              "factorized in %.0f ms wall\n",
+              n, static_cast<long long>(g.nnz()),
+              static_cast<long long>(f.fill_nnz),
+              static_cast<double>(f.fill_nnz) / g.nnz(),
+              factor_timer.millis());
+
+  // Transient loop: a 1 kHz source drives node 0; watch node n-1 settle.
+  const int steps = 200;
+  std::vector<value_t> b(static_cast<std::size_t>(n), 0);
+  WallTimer solve_timer;
+  double checksum = 0;
+  for (int t = 0; t < steps; ++t) {
+    b[0] = std::sin(2.0 * M_PI * t / 64.0);        // AC source
+    b[n / 2] = 0.5;                                // DC bias
+    const std::vector<value_t> v = SparseLU::solve(f, b);
+    checksum += v[n - 1];
+    if (t % 50 == 0) {
+      std::printf("  step %3d: v[0]=%+.4f  v[n/2]=%+.4f  v[n-1]=%+.6f "
+                  "(residual %.2e)\n",
+                  t, v[0], v[n / 2], v[n - 1], SparseLU::residual(g, v, b));
+    }
+  }
+  std::printf("%d transient steps in %.0f ms (%.2f ms/step); checksum %.6f\n",
+              steps, solve_timer.millis(), solve_timer.millis() / steps,
+              checksum);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Matrix Market solver: load any SuiteSparse-style .mtx file, run the
+// end-to-end GPU LU pipeline, and report fill, schedule, and solve
+// accuracy.
+//
+//   ./build/examples/matrix_market_solver [file.mtx [mode]]
+//
+// mode: ooc (default) | ooc-dynamic | um | um-noprefetch | cpu
+// Without arguments, a demo matrix is written to /tmp and solved.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/sparse_lu.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/mm_io.hpp"
+#include "support/rng.hpp"
+
+using namespace e2elu;
+
+namespace {
+
+Mode parse_mode(const std::string& s) {
+  if (s == "ooc") return Mode::OutOfCoreGpu;
+  if (s == "ooc-dynamic") return Mode::OutOfCoreGpuDynamic;
+  if (s == "um") return Mode::UnifiedMemoryGpu;
+  if (s == "um-noprefetch") return Mode::UnifiedMemoryGpuNoPrefetch;
+  if (s == "cpu") return Mode::CpuBaseline;
+  throw Error("unknown mode: " + s +
+              " (want ooc|ooc-dynamic|um|um-noprefetch|cpu)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  Mode mode = Mode::OutOfCoreGpu;
+  if (argc >= 2) path = argv[1];
+  if (argc >= 3) mode = parse_mode(argv[2]);
+
+  if (path.empty()) {
+    path = "/tmp/e2elu_demo.mtx";
+    write_matrix_market_file(path, gen_banded(3000, 12, 8.0, 321));
+    std::printf("no input given; wrote demo matrix to %s\n", path.c_str());
+  }
+
+  const Csr a = coo_to_csr(read_matrix_market_file(path));
+  std::printf("loaded %s: n=%d nnz=%lld (%.1f per row)\n", path.c_str(), a.n,
+              static_cast<long long>(a.nnz()), a.nnz_per_row());
+
+  Options options;
+  options.mode = mode;
+  options.device = gpusim::DeviceSpec::v100_with_memory(256u << 20);
+
+  // Pre-flight: how will this matrix map onto the device?
+  analysis::print(std::cout,
+                  analysis::plan_memory(a, a.nnz() * 8, options.device));
+
+  const FactorResult f = SparseLU(options).factorize(a);
+
+  std::printf("fill-in: %lld -> %lld (+%.0f%%), %d levels, %s numeric, "
+              "%d symbolic chunks\n",
+              static_cast<long long>(a.nnz()),
+              static_cast<long long>(f.fill_nnz),
+              100.0 * (f.fill_nnz - a.nnz()) / a.nnz(), f.num_levels,
+              f.used_sparse_numeric ? "sparse" : "dense", f.symbolic_chunks);
+  std::printf("simulated time: symbolic %.0fus, levelize %.0fus, numeric "
+              "%.0fus\n", f.symbolic.sim_us, f.levelize.sim_us,
+              f.numeric.sim_us);
+
+  Rng rng(11);
+  std::vector<value_t> b(static_cast<std::size_t>(a.n));
+  for (auto& v : b) v = static_cast<value_t>(rng.next_double(-1.0, 1.0));
+  const std::vector<value_t> x = SparseLU::solve(f, b);
+  std::printf("solve residual: %.3e\n", SparseLU::residual(a, x, b));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: factorize a sparse matrix end-to-end on the simulated GPU
+// and solve A x = b.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/sparse_lu.hpp"
+#include "matrix/generators.hpp"
+
+using namespace e2elu;
+
+int main() {
+  // A 64x64-grid Poisson problem (n = 4096) — any square CSR works.
+  const Csr a = gen_grid2d(64, 64);
+
+  // Default options: out-of-core GPU pipeline on a simulated V100, RCM
+  // fill-reducing ordering, automatic numeric format selection.
+  Options options;
+  options.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+
+  SparseLU lu(options);
+  const FactorResult f = lu.factorize(a);
+
+  std::printf("n=%d  nnz(A)=%lld  nnz(L+U)=%lld  levels=%d  format=%s\n",
+              f.n, static_cast<long long>(a.nnz()),
+              static_cast<long long>(f.fill_nnz), f.num_levels,
+              f.used_sparse_numeric ? "sparse(bsearch)" : "dense-window");
+  std::printf("phase times (simulated device/host us): preprocess=%.0f "
+              "symbolic=%.0f levelize=%.0f numeric=%.0f\n",
+              f.preprocess.sim_us, f.symbolic.sim_us, f.levelize.sim_us,
+              f.numeric.sim_us);
+
+  // Solve against a known solution.
+  std::vector<value_t> x_true(static_cast<std::size_t>(f.n));
+  for (index_t i = 0; i < f.n; ++i) x_true[i] = 1.0 + 0.001 * i;
+  std::vector<value_t> b(static_cast<std::size_t>(f.n), 0);
+  for (index_t i = 0; i < a.n; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      b[i] += vals[k] * x_true[cols[k]];
+    }
+  }
+  const std::vector<value_t> x = SparseLU::solve(f, b);
+  std::printf("relative residual ||Ax-b||/||b|| = %.3e\n",
+              SparseLU::residual(a, x, b));
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "numeric/numeric.hpp"
+#include "support/check.hpp"
+#include "symbolic/fill2.hpp"
+
+namespace e2elu::analysis {
+
+FillReport analyze_fill(const Csr& a, const Csr& filled) {
+  E2ELU_CHECK(a.n == filled.n);
+  FillReport r;
+  r.input_nnz = a.nnz();
+  r.filled_nnz = filled.nnz();
+  for (index_t i = 0; i < filled.n; ++i) {
+    r.max_row_nnz = std::max<index_t>(
+        r.max_row_nnz,
+        static_cast<index_t>(filled.row_ptr[i + 1] - filled.row_ptr[i]));
+  }
+  r.mean_row_nnz = filled.nnz_per_row();
+  return r;
+}
+
+ScheduleReport analyze_schedule(const Csr& filled,
+                                const scheduling::LevelSchedule& schedule,
+                                const gpusim::DeviceSpec& spec) {
+  ScheduleReport r;
+  r.num_levels = schedule.num_levels();
+  std::uint64_t saturating_cols = 0;
+  for (index_t l = 0; l < r.num_levels; ++l) {
+    const index_t width = schedule.level_width(l);
+    r.max_width = std::max(r.max_width, width);
+    r.mean_width += width;
+    if (width >= spec.max_concurrent_blocks) saturating_cols += width;
+
+    // Mean sub-column count of the level (strict-upper row lengths).
+    std::uint64_t subs = 0;
+    for (index_t k = schedule.level_ptr[l]; k < schedule.level_ptr[l + 1];
+         ++k) {
+      const index_t j = schedule.level_cols[k];
+      const auto cols = filled.row_cols(j);
+      subs += cols.end() - std::upper_bound(cols.begin(), cols.end(), j);
+    }
+    switch (scheduling::classify_level(
+        width, width == 0 ? 0.0 : static_cast<double>(subs) / width)) {
+      case scheduling::LevelType::A: ++r.type_a_levels; break;
+      case scheduling::LevelType::B: ++r.type_b_levels; break;
+      case scheduling::LevelType::C: ++r.type_c_levels; break;
+    }
+  }
+  if (r.num_levels > 0) r.mean_width /= r.num_levels;
+  if (filled.n > 0) {
+    r.saturating_column_fraction =
+        static_cast<double>(saturating_cols) / filled.n;
+  }
+  return r;
+}
+
+MemoryPlan plan_memory(const Csr& a, offset_t fill_nnz_estimate,
+                       const gpusim::DeviceSpec& spec) {
+  MemoryPlan p;
+  p.device_bytes = spec.memory_bytes;
+  p.symbolic_scratch_per_row = symbolic::scratch_bytes_per_row(a.n);
+  p.symbolic_scratch_total =
+      p.symbolic_scratch_per_row * static_cast<std::size_t>(a.n);
+
+  // Resident set during the symbolic stages (matrix + counts + output).
+  const std::size_t resident =
+      (static_cast<std::size_t>(a.n) + 1) * sizeof(offset_t) +
+      static_cast<std::size_t>(a.nnz()) * sizeof(index_t) +
+      static_cast<std::size_t>(a.n) * sizeof(index_t) +
+      static_cast<std::size_t>(fill_nnz_estimate) * sizeof(index_t);
+  const std::size_t free =
+      spec.memory_bytes > resident ? spec.memory_bytes - resident : 0;
+  p.symbolic_fits_in_core = free >= p.symbolic_scratch_total;
+  p.symbolic_chunk_rows = static_cast<index_t>(std::min<std::size_t>(
+      static_cast<std::size_t>(a.n),
+      p.symbolic_scratch_per_row == 0
+          ? 0
+          : free / p.symbolic_scratch_per_row));
+  p.symbolic_iterations =
+      p.symbolic_chunk_rows == 0
+          ? 0
+          : (a.n + p.symbolic_chunk_rows - 1) / p.symbolic_chunk_rows;
+  p.dense_column_cap =
+      numeric::max_parallel_dense_columns(spec.memory_bytes, a.n);
+  p.use_sparse_numeric = numeric::should_use_sparse_format(spec, a.n);
+  return p;
+}
+
+void print(std::ostream& os, const FillReport& r) {
+  os << "fill: " << r.input_nnz << " -> " << r.filled_nnz << " ("
+     << r.growth() << "x), mean row " << r.mean_row_nnz << ", max row "
+     << r.max_row_nnz << "\n";
+}
+
+void print(std::ostream& os, const ScheduleReport& r) {
+  os << "schedule: " << r.num_levels << " levels, width mean "
+     << r.mean_width << " / max " << r.max_width << "; types A/B/C = "
+     << r.type_a_levels << "/" << r.type_b_levels << "/" << r.type_c_levels
+     << "; " << 100.0 * r.saturating_column_fraction
+     << "% of columns in device-saturating levels\n";
+}
+
+void print(std::ostream& os, const MemoryPlan& r) {
+  os << "memory plan: device " << (r.device_bytes >> 20)
+     << " MiB; symbolic scratch " << (r.symbolic_scratch_per_row >> 10)
+     << " KiB/row, total " << (r.symbolic_scratch_total >> 20) << " MiB ("
+     << (r.symbolic_fits_in_core ? "fits in core" : "out-of-core") << ", chunk "
+     << r.symbolic_chunk_rows << " rows, " << r.symbolic_iterations
+     << " iterations/stage); dense numeric cap " << r.dense_column_cap
+     << " columns -> " << (r.use_sparse_numeric ? "sparse" : "dense")
+     << " numeric format\n";
+}
+
+}  // namespace e2elu::analysis

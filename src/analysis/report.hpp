@@ -1,0 +1,81 @@
+// Analysis and pre-flight planning utilities.
+//
+// The paper's design decisions are all driven by a handful of derived
+// quantities: the per-row symbolic scratch against device capacity
+// (chunk_size = L / (c*n), §3.2), the level-schedule shape (the GLU3.0
+// A/B/C taxonomy, §2.2), and the dense-format resident-column cap
+// M = L / (n * sizeof(value_t)) against TB_max (§3.4). This module
+// exposes those quantities as a user-facing API so a downstream
+// application can inspect a matrix and predict how the pipeline will
+// execute on a given device *before* running it.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "gpusim/spec.hpp"
+#include "matrix/csr.hpp"
+#include "scheduling/levelize.hpp"
+
+namespace e2elu::analysis {
+
+/// Fill statistics of a symbolic factorization.
+struct FillReport {
+  offset_t input_nnz = 0;
+  offset_t filled_nnz = 0;
+  index_t max_row_nnz = 0;
+  double mean_row_nnz = 0;
+  /// Fill growth factor nnz(L+U) / nnz(A).
+  double growth() const {
+    return input_nnz == 0 ? 0.0
+                          : static_cast<double>(filled_nnz) / input_nnz;
+  }
+};
+
+FillReport analyze_fill(const Csr& a, const Csr& filled);
+
+/// Shape of a level schedule: how much column parallelism each phase of
+/// the numeric factorization will actually see.
+struct ScheduleReport {
+  index_t num_levels = 0;
+  index_t max_width = 0;
+  double mean_width = 0;
+  /// Levels per GLU3.0 kernel type (A: wide/light, B: wide/heavy,
+  /// C: narrow/heavy).
+  index_t type_a_levels = 0;
+  index_t type_b_levels = 0;
+  index_t type_c_levels = 0;
+  /// Fraction of columns living in levels at least TB_max wide — the
+  /// share of the factorization that can saturate the device.
+  double saturating_column_fraction = 0;
+};
+
+ScheduleReport analyze_schedule(const Csr& filled,
+                                const scheduling::LevelSchedule& schedule,
+                                const gpusim::DeviceSpec& spec);
+
+/// Pre-flight memory plan: how the symbolic and numeric phases will map
+/// onto a device of the given capacity.
+struct MemoryPlan {
+  std::size_t device_bytes = 0;
+  std::size_t symbolic_scratch_per_row = 0;
+  std::size_t symbolic_scratch_total = 0;
+  bool symbolic_fits_in_core = false;  ///< full O(n^2) scratch fits?
+  index_t symbolic_chunk_rows = 0;     ///< Algorithm 3 chunk size
+  index_t symbolic_iterations = 0;     ///< kernels per stage
+  index_t dense_column_cap = 0;        ///< M = L/(n*sizeof(value_t))
+  bool use_sparse_numeric = false;     ///< the §3.4 switch rule
+};
+
+/// Plans against the device's *total* capacity minus the resident matrix
+/// (fill_nnz_estimate sizes the output; pass the input nnz as a lower
+/// bound if unknown).
+MemoryPlan plan_memory(const Csr& a, offset_t fill_nnz_estimate,
+                       const gpusim::DeviceSpec& spec);
+
+/// Human-readable dumps (used by examples and for debugging).
+void print(std::ostream& os, const FillReport& r);
+void print(std::ostream& os, const ScheduleReport& r);
+void print(std::ostream& os, const MemoryPlan& r);
+
+}  // namespace e2elu::analysis

@@ -1,0 +1,222 @@
+#include "core/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "matrix/convert.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace e2elu {
+
+SparseLU::SparseLU(Options options) : options_(std::move(options)) {}
+
+namespace {
+
+Permutation identity_permutation(index_t n) {
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+}  // namespace
+
+FactorResult SparseLU::factorize(const Csr& a_in) {
+  validate(a_in);
+  E2ELU_CHECK_MSG(a_in.n > 0, "empty matrix");
+  E2ELU_CHECK_MSG(!a_in.values.empty(), "matrix has no values");
+
+  gpusim::Device dev(options_.device);
+  FactorResult res;
+  res.n = a_in.n;
+  const index_t n = a_in.n;
+
+  // ---- Pre-processing (Figure 2, first box; host-side as in the paper).
+  WallTimer t_pre;
+  Csr a = a_in;
+  res.row_perm = identity_permutation(n);
+  res.col_perm = identity_permutation(n);
+
+  if (options_.match_diagonal && !has_full_diagonal(a)) {
+    const Permutation q = diagonal_matching(a);
+    a = permute(a, res.row_perm, q);
+    res.col_perm = q;
+  }
+  if (options_.ordering != Ordering::None) {
+    const Permutation p = options_.ordering == Ordering::Rcm
+                              ? rcm_ordering(a)
+                              : min_degree_ordering(a);
+    a = permute(a, p, p);
+    // a(i,j) = a_in(p[i], col_perm[p[j]]).
+    Permutation composed(static_cast<std::size_t>(n));
+    for (index_t k = 0; k < n; ++k) composed[k] = res.col_perm[p[k]];
+    res.row_perm = p;
+    res.col_perm = std::move(composed);
+  }
+  if (options_.diag_patch.has_value()) {
+    patch_zero_diagonal(a, *options_.diag_patch);
+  }
+  res.preprocess.wall_ms = t_pre.millis();
+  res.preprocess.ops = static_cast<std::uint64_t>(a.nnz());
+  res.preprocess.sim_us = options_.host.time_us(res.preprocess.ops);
+
+  // ---- Symbolic factorization (§3.2).
+  WallTimer t_sym;
+  double sim_before = dev.stats().sim_total_us();
+  symbolic::SymbolicResult sym;
+  switch (options_.mode) {
+    case Mode::OutOfCoreGpu:
+      sym = symbolic::symbolic_out_of_core(dev, a, options_.symbolic);
+      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+      break;
+    case Mode::OutOfCoreGpuDynamic:
+      sym = symbolic::symbolic_out_of_core_dynamic(dev, a, options_.symbolic);
+      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+      break;
+    case Mode::UnifiedMemoryGpu:
+      sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/true,
+                                              options_.symbolic);
+      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+      break;
+    case Mode::UnifiedMemoryGpuNoPrefetch:
+      sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/false,
+                                              options_.symbolic);
+      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+      break;
+    case Mode::CpuBaseline:
+      sym = symbolic::symbolic_cpu(a);
+      res.symbolic.sim_us = options_.host.time_us(sym.ops);
+      break;
+  }
+  res.symbolic.wall_ms = t_sym.millis();
+  res.symbolic.ops = sym.ops;
+  res.fill_nnz = sym.filled.nnz();
+  res.symbolic_chunks = sym.num_chunks;
+
+  // ---- Levelization (§3.3).
+  WallTimer t_lvl;
+  sim_before = dev.stats().sim_total_us();
+  const scheduling::DependencyGraph graph = scheduling::build_dependency_graph(
+      sym.filled, options_.dependency_rule);
+  scheduling::LevelSchedule schedule;
+  if (options_.mode == Mode::CpuBaseline) {
+    schedule = scheduling::levelize_sequential(graph);
+    res.levelize.ops =
+        static_cast<std::uint64_t>(graph.n) +
+        static_cast<std::uint64_t>(graph.num_edges());
+    // Previous work runs levelization single-threaded on the host.
+    res.levelize.sim_us = static_cast<double>(res.levelize.ops) /
+                          options_.host.ops_per_us_per_thread;
+  } else {
+    // cons_graph (Algorithm 5 line 14): the dependency graph is built
+    // on-device from the filled pattern.
+    dev.launch({.name = "cons_graph",
+                .blocks = std::max<index_t>(1, (n + 255) / 256),
+                .threads_per_block = 256},
+               [&](std::int64_t b, gpusim::KernelContext& ctx) {
+                 const index_t lo = static_cast<index_t>(b) * 256;
+                 const index_t hi = std::min(n, lo + 256);
+                 ctx.add_ops(static_cast<std::uint64_t>(
+                     graph.adj_ptr[hi] - graph.adj_ptr[lo]));
+               });
+    const std::uint64_t ops_before_lvl = dev.stats().kernel_ops;
+    schedule = scheduling::levelize_gpu_dynamic(dev, graph);
+    res.levelize.ops = dev.stats().kernel_ops - ops_before_lvl;
+    res.levelize.sim_us = dev.stats().sim_total_us() - sim_before;
+  }
+  res.levelize.wall_ms = t_lvl.millis();
+  res.num_levels = schedule.num_levels();
+
+  // ---- Numeric factorization (§3.4).
+  WallTimer t_num;
+  sim_before = dev.stats().sim_total_us();
+  numeric::FactorMatrix fm = numeric::FactorMatrix::build(sym.filled, a);
+  bool use_sparse;
+  switch (options_.numeric_format) {
+    case NumericFormat::DenseWindow:
+      use_sparse = false;
+      break;
+    case NumericFormat::SparseBinarySearch:
+      use_sparse = true;
+      break;
+    case NumericFormat::Auto:
+    default:
+      use_sparse = numeric::should_use_sparse_format(options_.device, n);
+      break;
+  }
+  res.used_sparse_numeric = use_sparse;
+  const numeric::NumericStats nstats =
+      use_sparse
+          ? numeric::factorize_sparse_bsearch(dev, fm, schedule,
+                                              options_.numeric)
+          : numeric::factorize_dense_window(dev, fm, schedule,
+                                            options_.numeric);
+  res.numeric.ops = nstats.ops;
+  res.numeric.sim_us = dev.stats().sim_total_us() - sim_before;
+  res.numeric.wall_ms = t_num.millis();
+
+  numeric::extract_lu(fm, res.l, res.u);
+  res.device_stats = dev.stats();
+  return res;
+}
+
+void lower_solve_unit(const Csr& l, std::vector<value_t>& x) {
+  for (index_t i = 0; i < l.n; ++i) {
+    value_t acc = x[i];
+    for (offset_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      const index_t j = l.col_idx[k];
+      if (j < i) acc -= l.values[k] * x[j];
+    }
+    x[i] = acc;  // unit diagonal
+  }
+}
+
+void upper_solve(const Csr& u, std::vector<value_t>& x) {
+  for (index_t i = u.n; i-- > 0;) {
+    value_t acc = x[i];
+    value_t diag = 0;
+    for (offset_t k = u.row_ptr[i]; k < u.row_ptr[i + 1]; ++k) {
+      const index_t j = u.col_idx[k];
+      if (j == i) {
+        diag = u.values[k];
+      } else if (j > i) {
+        acc -= u.values[k] * x[j];
+      }
+    }
+    E2ELU_CHECK_MSG(diag != value_t{0}, "singular U at row " << i);
+    x[i] = acc / diag;
+  }
+}
+
+std::vector<value_t> SparseLU::solve(const FactorResult& f,
+                                     std::span<const value_t> b) {
+  E2ELU_CHECK(b.size() == static_cast<std::size_t>(f.n));
+  // Factorized B(i,j) = A(row_perm[i], col_perm[j]) = (LU)(i,j).
+  // A x = b  <=>  B y = c with c[i] = b[row_perm[i]], x[col_perm[j]] = y[j].
+  std::vector<value_t> y(static_cast<std::size_t>(f.n));
+  for (index_t i = 0; i < f.n; ++i) y[i] = b[f.row_perm[i]];
+  lower_solve_unit(f.l, y);
+  upper_solve(f.u, y);
+  std::vector<value_t> x(static_cast<std::size_t>(f.n));
+  for (index_t j = 0; j < f.n; ++j) x[f.col_perm[j]] = y[j];
+  return x;
+}
+
+double SparseLU::residual(const Csr& a, std::span<const value_t> x,
+                          std::span<const value_t> b) {
+  E2ELU_CHECK(x.size() == static_cast<std::size_t>(a.n));
+  E2ELU_CHECK(b.size() == static_cast<std::size_t>(a.n));
+  double err2 = 0, b2 = 0;
+  for (index_t i = 0; i < a.n; ++i) {
+    value_t acc = 0;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) acc += vals[k] * x[cols[k]];
+    err2 += static_cast<double>((acc - b[i]) * (acc - b[i]));
+    b2 += static_cast<double>(b[i] * b[i]);
+  }
+  return b2 == 0 ? std::sqrt(err2) : std::sqrt(err2 / b2);
+}
+
+}  // namespace e2elu

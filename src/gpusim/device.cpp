@@ -1,0 +1,107 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace e2elu::gpusim {
+
+DeviceSpec DeviceSpec::v100() { return DeviceSpec{}; }
+
+double DeviceSpec::simt_efficiency(double avg_row_len) const {
+  const double lane = std::clamp(avg_row_len / warp_width, 1.0 / 32.0, 1.0);
+  // lane occupancy * transaction efficiency; the latter improves with the
+  // square root of the run length (partial coalescing).
+  return lane * std::sqrt(lane);
+}
+
+DeviceSpec DeviceSpec::v100_with_memory(std::size_t memory_bytes) {
+  DeviceSpec spec;
+  spec.memory_bytes = memory_bytes;
+  return spec;
+}
+
+void Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
+  E2ELU_CHECK_MSG(cfg.blocks >= 0, "negative grid size");
+  E2ELU_CHECK_MSG(cfg.threads_per_block >= 1 &&
+                      cfg.threads_per_block <= spec_.max_threads_per_block,
+                  "block size " << cfg.threads_per_block
+                                << " exceeds device limit");
+  E2ELU_CHECK(cfg.warp_efficiency > 0.0 && cfg.warp_efficiency <= 1.0);
+
+  // Launch overhead is charged even for empty grids (a real launch would
+  // still round-trip the driver).
+  if (cfg.from_device) {
+    ++stats_.device_launches;
+    stats_.sim_launch_us += spec_.device_launch_us;
+  } else {
+    ++stats_.host_launches;
+    stats_.sim_launch_us += spec_.host_launch_us;
+  }
+  if (cfg.blocks == 0) return;
+
+  // Execute every block on the pool, one work counter per worker.
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<KernelContext> contexts(pool.num_threads());
+  pool.parallel_for_ranges(
+      static_cast<std::size_t>(cfg.blocks),
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        KernelContext& ctx = contexts[worker];
+        for (std::size_t b = begin; b < end; ++b) {
+          body(static_cast<std::int64_t>(b), ctx);
+        }
+      });
+
+  std::uint64_t ops = 0;
+  for (const KernelContext& ctx : contexts) ops += ctx.ops();
+  stats_.kernel_ops += ops;
+
+  const double throughput =
+      spec_.gpu_ops_per_us * occupancy(cfg.blocks) * cfg.warp_efficiency;
+  stats_.sim_kernel_us += static_cast<double>(ops) / throughput;
+}
+
+void Device::copy_h2d(std::size_t bytes) {
+  stats_.h2d_bytes += bytes;
+  stats_.sim_transfer_us += static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+}
+
+void Device::copy_d2h(std::size_t bytes) {
+  stats_.d2h_bytes += bytes;
+  stats_.sim_transfer_us += static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+}
+
+void Device::record_page_fault(bool starts_new_group) {
+  ++stats_.page_faults;
+  if (starts_new_group) {
+    ++stats_.page_fault_groups;
+    stats_.sim_fault_us += spec_.fault_group_us;
+  }
+}
+
+void Device::record_prefetch(std::size_t bytes) {
+  stats_.prefetch_bytes += bytes;
+  // cudaMemPrefetchAsync on never-populated managed pages is an
+  // allocation + mapping operation, not a PCIe copy — the cost is the
+  // async enqueue.
+  stats_.sim_transfer_us += spec_.prefetch_call_us;
+}
+
+void Device::allocate(std::size_t bytes) {
+  const std::size_t before = allocated_.fetch_add(bytes, std::memory_order_relaxed);
+  if (before + bytes > spec_.memory_bytes) {
+    allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+    std::ostringstream os;
+    os << "device OOM: requested " << bytes << " bytes with " << before
+       << " of " << spec_.memory_bytes << " already allocated";
+    throw OutOfDeviceMemory(os.str());
+  }
+}
+
+void Device::deallocate(std::size_t bytes) noexcept {
+  allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace e2elu::gpusim

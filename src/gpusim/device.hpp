@@ -1,0 +1,178 @@
+// The simulated CUDA device: memory accounting, kernel execution, and
+// simulated-time bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gpusim/spec.hpp"
+#include "support/check.hpp"
+
+namespace e2elu::gpusim {
+
+/// Thrown when a DeviceBuffer allocation would exceed DeviceSpec
+/// memory_bytes. The out-of-core drivers size their chunks so this never
+/// fires; tests assert that naive full-size allocation does fire.
+class OutOfDeviceMemory : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Aggregated device counters and simulated time. All "sim_*" fields are
+/// microseconds derived from measured counts via DeviceSpec rates.
+struct DeviceStats {
+  std::uint64_t host_launches = 0;
+  std::uint64_t device_launches = 0;  ///< dynamic-parallelism child launches
+  std::uint64_t kernel_ops = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t page_faults = 0;        ///< individual page misses
+  std::uint64_t page_fault_groups = 0;  ///< coalesced miss runs (nvprof-style)
+  std::uint64_t prefetch_bytes = 0;
+
+  double sim_kernel_us = 0;    ///< kernel work time
+  double sim_launch_us = 0;    ///< launch overheads
+  double sim_transfer_us = 0;  ///< explicit copies + prefetches
+  double sim_fault_us = 0;     ///< page-fault service time
+
+  double sim_total_us() const {
+    return sim_kernel_us + sim_launch_us + sim_transfer_us + sim_fault_us;
+  }
+  /// Percentage of simulated time spent servicing page faults (Table 3).
+  double fault_time_pct() const {
+    const double total = sim_total_us();
+    return total == 0 ? 0.0 : 100.0 * sim_fault_us / total;
+  }
+  /// Percentage of simulated time spent on data movement (Table 3's
+  /// "pc. ooc" column counts explicit transfers for the out-of-core run).
+  double transfer_time_pct() const {
+    const double total = sim_total_us();
+    return total == 0 ? 0.0 : 100.0 * sim_transfer_us / total;
+  }
+};
+
+/// Launch descriptor for one (possibly device-launched) kernel.
+struct LaunchConfig {
+  const char* name = "kernel";
+  /// Grid size: number of thread blocks requested.
+  std::int64_t blocks = 1;
+  int threads_per_block = 256;
+  /// Average useful lanes per warp_width-wide warp, in [0,1]. Kernels that
+  /// scan sparse rows pass min(1, nnz_per_row / warp_width).
+  double warp_efficiency = 1.0;
+  /// True for dynamic-parallelism child launches (cheaper, Algorithm 5).
+  bool from_device = false;
+};
+
+/// Per-launch execution context handed to the kernel body. The body runs
+/// once per thread block (mapped onto host pool workers) and reports its
+/// work through add_ops().
+class KernelContext {
+ public:
+  /// Records `n` work items (edge visits, element updates, ...) performed
+  /// by this block. Thread-safe: each pool worker owns its own counter.
+  void add_ops(std::uint64_t n) { ops_ += n; }
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  std::uint64_t ops_ = 0;
+};
+
+/// Kernel body: invoked once per block with (block_id, ctx).
+using KernelBody = std::function<void(std::int64_t, KernelContext&)>;
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+
+  /// Bytes currently allocated on the device.
+  std::size_t allocated_bytes() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  std::size_t free_bytes() const {
+    return spec_.memory_bytes - allocated_bytes();
+  }
+
+  /// Executes a kernel: runs `body` for every block on the host pool,
+  /// gathers the work counters, and charges launch overhead plus
+  /// ops / effective_throughput to simulated time.
+  ///
+  /// Effective throughput = gpu_ops_per_us
+  ///                        * min(blocks, TB_max) / TB_max   (occupancy)
+  ///                        * warp_efficiency.               (lane use)
+  /// This is the expression behind §3.4: capping resident blocks below
+  /// TB_max (the dense-format memory limit) directly scales time.
+  void launch(const LaunchConfig& cfg, const KernelBody& body);
+
+  /// Explicit host<->device copies (cudaMemcpy). Charged at PCIe rate.
+  void copy_h2d(std::size_t bytes);
+  void copy_d2h(std::size_t bytes);
+
+  /// Unified-memory bookkeeping hooks (used by UnifiedBuffer).
+  /// A "group" is a run of faults on adjacent pages, which the driver
+  /// services together — the unit Table 3 counts and the unit that costs
+  /// fault_group_us.
+  void record_page_fault(bool starts_new_group);
+  void record_prefetch(std::size_t bytes);
+
+  /// Occupancy fraction a launch of `blocks` blocks achieves.
+  double occupancy(std::int64_t blocks) const {
+    const auto resident =
+        std::min<std::int64_t>(blocks, spec_.max_concurrent_blocks);
+    return static_cast<double>(resident) / spec_.max_concurrent_blocks;
+  }
+
+ private:
+  friend class RawDeviceAllocation;
+  void allocate(std::size_t bytes);
+  void deallocate(std::size_t bytes) noexcept;
+
+  DeviceSpec spec_;
+  DeviceStats stats_;
+  std::atomic<std::size_t> allocated_{0};
+};
+
+/// RAII registration of `bytes` against a Device's capacity. Building
+/// block for DeviceBuffer; throws OutOfDeviceMemory if over capacity.
+class RawDeviceAllocation {
+ public:
+  RawDeviceAllocation() = default;
+  RawDeviceAllocation(Device& device, std::size_t bytes)
+      : device_(&device), bytes_(bytes) {
+    device_->allocate(bytes_);
+  }
+  ~RawDeviceAllocation() { release(); }
+
+  RawDeviceAllocation(const RawDeviceAllocation&) = delete;
+  RawDeviceAllocation& operator=(const RawDeviceAllocation&) = delete;
+  RawDeviceAllocation(RawDeviceAllocation&& o) noexcept { *this = std::move(o); }
+  RawDeviceAllocation& operator=(RawDeviceAllocation&& o) noexcept {
+    if (this != &o) {
+      release();
+      device_ = o.device_;
+      bytes_ = o.bytes_;
+      o.device_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  void release() noexcept {
+    if (device_ != nullptr) device_->deallocate(bytes_);
+    device_ = nullptr;
+    bytes_ = 0;
+  }
+  Device* device_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace e2elu::gpusim

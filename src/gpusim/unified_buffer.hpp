@@ -1,0 +1,139 @@
+// Unified (managed) memory with on-demand paging — the cudaMallocManaged
+// half of the memory model.
+//
+// The paper's main symbolic-factorization comparison (Figures 5/6,
+// Table 3) is out-of-core explicit copies vs unified memory with and
+// without cudaMemPrefetchAsync. This class models the managed-memory
+// behaviours that drive those results:
+//   * device access to a non-resident page takes a fault,
+//   * faults on adjacent pages coalesce into fault *groups* (the unit
+//     nvprof reports and the unit that costs service time),
+//   * device residency is capacity-limited: oversubscription evicts in
+//     FIFO order, so re-touching evicted data faults again,
+//   * prefetching moves pages ahead of access at copy bandwidth, turning
+//     would-be faults into cheap transfers.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace e2elu::gpusim {
+
+template <typename T>
+class UnifiedBuffer {
+ public:
+  /// Fault-stream handle: one per concurrently executing thread block.
+  /// Faults coalesce into one serviced group only when they hit adjacent
+  /// pages *within the same stream* — on real hardware the global fault
+  /// stream interleaves across resident blocks, so cross-block adjacency
+  /// never batches.
+  struct Stream {
+    std::size_t last_fault_page = static_cast<std::size_t>(-1);
+  };
+
+  /// Managed allocation of `count` elements. Unlike DeviceBuffer this
+  /// never throws OutOfDeviceMemory: oversubscription is the whole point.
+  /// The device-resident budget is the device's free capacity at
+  /// construction time.
+  UnifiedBuffer(Device& device, std::size_t count)
+      : device_(&device),
+        data_(count),
+        page_bytes_(device.spec().page_bytes),
+        num_pages_((count * sizeof(T) + page_bytes_ - 1) / page_bytes_),
+        resident_(std::make_unique<std::atomic<std::uint8_t>[]>(
+            std::max<std::size_t>(num_pages_, 1))) {
+    budget_pages_ = std::max<std::size_t>(1, device.free_bytes() / page_bytes_);
+    for (std::size_t p = 0; p < num_pages_; ++p) {
+      resident_[p].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+  /// Device-side access from a block's fault stream. Faults the page in
+  /// if necessary.
+  T& gpu_at(Stream& stream, std::size_t i) {
+    touch(stream, i * sizeof(T) / page_bytes_);
+    return data_[i];
+  }
+
+  /// Host-side view for setup/teardown. Host access migrates pages back to
+  /// the host in real UM; we conservatively evict everything.
+  std::span<T> host_span() {
+    evict_all();
+    return {data_.data(), data_.size()};
+  }
+
+  /// cudaMemPrefetchAsync(ptr+offset, count*sizeof(T), device): makes the
+  /// element range resident ahead of access, charging transfer time for
+  /// the pages actually moved.
+  void prefetch(std::size_t offset, std::size_t count) {
+    if (count == 0) return;
+    const std::size_t first = offset * sizeof(T) / page_bytes_;
+    const std::size_t last = ((offset + count) * sizeof(T) - 1) / page_bytes_;
+    std::size_t moved = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t p = first; p <= last && p < num_pages_; ++p) {
+      if (resident_[p].load(std::memory_order_relaxed) == 0) {
+        make_resident_locked(p);
+        ++moved;
+      }
+    }
+    if (moved > 0) device_->record_prefetch(moved * page_bytes_);
+  }
+
+  /// Evicts every page from the device (models host touch / cudaFree of
+  /// neighbours / stream sync migrating data back).
+  void evict_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t p = 0; p < num_pages_; ++p) {
+      resident_[p].store(0, std::memory_order_relaxed);
+    }
+    fifo_.clear();
+  }
+
+  std::size_t resident_pages() const { return fifo_.size(); }
+  std::size_t budget_pages() const { return budget_pages_; }
+
+ private:
+  static constexpr std::size_t kNoPage = static_cast<std::size_t>(-1);
+
+  void touch(Stream& stream, std::size_t page) {
+    if (resident_[page].load(std::memory_order_acquire) != 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (resident_[page].load(std::memory_order_relaxed) != 0) return;
+    // Adjacent-page faults from one stream coalesce into one serviced
+    // group, matching how the driver batches far-faults (and how nvprof
+    // counts them).
+    const bool new_group = stream.last_fault_page == kNoPage ||
+                           page != stream.last_fault_page + 1;
+    device_->record_page_fault(new_group);
+    stream.last_fault_page = page;
+    make_resident_locked(page);
+  }
+
+  void make_resident_locked(std::size_t page) {
+    if (fifo_.size() >= budget_pages_) {
+      resident_[fifo_.front()].store(0, std::memory_order_release);
+      fifo_.pop_front();
+    }
+    resident_[page].store(1, std::memory_order_release);
+    fifo_.push_back(page);
+  }
+
+  Device* device_;
+  std::vector<T> data_;
+  std::size_t page_bytes_;
+  std::size_t num_pages_;
+  std::size_t budget_pages_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> resident_;
+  std::deque<std::size_t> fifo_;
+  std::mutex mutex_;
+};
+
+}  // namespace e2elu::gpusim

@@ -1,0 +1,135 @@
+#include "matrix/convert.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/prefix_sum.hpp"
+
+namespace e2elu {
+
+Csr coo_to_csr(const Coo& coo) {
+  Csr out(coo.n);
+  std::vector<offset_t> count(coo.n, 0);
+  for (const Triplet& t : coo.entries) {
+    E2ELU_CHECK_MSG(t.row >= 0 && t.row < coo.n && t.col >= 0 && t.col < coo.n,
+                    "triplet (" << t.row << "," << t.col << ") out of range");
+    ++count[t.row];
+  }
+  out.row_ptr.assign(static_cast<std::size_t>(coo.n) + 1, 0);
+  for (index_t i = 0; i < coo.n; ++i) out.row_ptr[i + 1] = out.row_ptr[i] + count[i];
+
+  const offset_t raw_nnz = out.row_ptr.back();
+  std::vector<index_t> cols(raw_nnz);
+  std::vector<value_t> vals(raw_nnz);
+  std::vector<offset_t> cursor(out.row_ptr.begin(), out.row_ptr.end() - 1);
+  for (const Triplet& t : coo.entries) {
+    const offset_t p = cursor[t.row]++;
+    cols[p] = t.col;
+    vals[p] = t.value;
+  }
+
+  // Sort each row and merge duplicates (summing values).
+  out.col_idx.reserve(raw_nnz);
+  out.values.reserve(raw_nnz);
+  std::vector<offset_t> perm;
+  offset_t write_row_start = 0;
+  std::vector<offset_t> new_row_ptr(static_cast<std::size_t>(coo.n) + 1, 0);
+  for (index_t i = 0; i < coo.n; ++i) {
+    const offset_t begin = out.row_ptr[i];
+    const offset_t end = out.row_ptr[i + 1];
+    perm.resize(end - begin);
+    std::iota(perm.begin(), perm.end(), begin);
+    std::sort(perm.begin(), perm.end(),
+              [&](offset_t a, offset_t b) { return cols[a] < cols[b]; });
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      const index_t c = cols[perm[k]];
+      const value_t v = vals[perm[k]];
+      if (!out.col_idx.empty() &&
+          static_cast<offset_t>(out.col_idx.size()) > write_row_start &&
+          out.col_idx.back() == c) {
+        out.values.back() += v;  // duplicate: assemble by summing
+      } else {
+        out.col_idx.push_back(c);
+        out.values.push_back(v);
+      }
+    }
+    write_row_start = static_cast<offset_t>(out.col_idx.size());
+    new_row_ptr[i + 1] = write_row_start;
+  }
+  out.row_ptr = std::move(new_row_ptr);
+  return out;
+}
+
+namespace {
+
+// Shared CSR<->CSC kernel: both directions are the same scatter.
+template <typename In, typename Out>
+void cross_convert(const In& a, const std::vector<offset_t>& in_ptr,
+                   const std::vector<index_t>& in_idx, Out& out,
+                   std::vector<offset_t>& out_ptr,
+                   std::vector<index_t>& out_idx) {
+  const index_t n = a.n;
+  out.n = n;
+  out_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j : in_idx) ++out_ptr[j + 1];
+  for (index_t i = 0; i < n; ++i) out_ptr[i + 1] += out_ptr[i];
+
+  out_idx.resize(in_idx.size());
+  const bool with_values = !a.values.empty();
+  out.values.resize(with_values ? in_idx.size() : 0);
+  std::vector<offset_t> cursor(out_ptr.begin(), out_ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) {
+    for (offset_t k = in_ptr[i]; k < in_ptr[i + 1]; ++k) {
+      const offset_t p = cursor[in_idx[k]]++;
+      out_idx[p] = i;
+      if (with_values) out.values[p] = a.values[k];
+    }
+  }
+}
+
+}  // namespace
+
+Csc csr_to_csc(const Csr& a) {
+  Csc out;
+  cross_convert(a, a.row_ptr, a.col_idx, out, out.col_ptr, out.row_idx);
+  return out;
+}
+
+Csr csc_to_csr(const Csc& a) {
+  Csr out;
+  cross_convert(a, a.col_ptr, a.row_idx, out, out.row_ptr, out.col_idx);
+  return out;
+}
+
+Csr transpose(const Csr& a) {
+  // A CSC of A read as CSR is exactly A^T.
+  Csc t = csr_to_csc(a);
+  Csr out;
+  out.n = t.n;
+  out.row_ptr = std::move(t.col_ptr);
+  out.col_idx = std::move(t.row_idx);
+  out.values = std::move(t.values);
+  return out;
+}
+
+std::vector<offset_t> csr_to_csc_position_map(const Csr& csr, const Csc& csc) {
+  E2ELU_CHECK(csr.n == csc.n);
+  E2ELU_CHECK(csr.nnz() == csc.nnz());
+  std::vector<offset_t> map(csr.nnz());
+  std::vector<offset_t> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  // Walking rows in order visits each column's entries in increasing row
+  // order, which is exactly CSC order — a single pass suffices.
+  for (index_t i = 0; i < csr.n; ++i) {
+    for (offset_t k = csr.row_ptr[i]; k < csr.row_ptr[i + 1]; ++k) {
+      const index_t j = csr.col_idx[k];
+      const offset_t p = cursor[j]++;
+      E2ELU_CHECK_MSG(csc.row_idx[p] == i, "CSR/CSC pattern mismatch at ("
+                                               << i << "," << j << ")");
+      map[k] = p;
+    }
+  }
+  return map;
+}
+
+}  // namespace e2elu

@@ -1,0 +1,34 @@
+// Conversions between sparse formats.
+//
+// The pipeline moves between formats constantly: the input arrives as COO
+// (Matrix Market), symbolic factorization wants the row graph (CSR),
+// numeric factorization wants sorted CSC (Algorithm 6) plus the U rows in
+// CSR, and the final L/U factors are returned in CSR.
+#pragma once
+
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+
+namespace e2elu {
+
+/// COO -> CSR. Duplicate entries are summed; column indices come out
+/// sorted. Triplets must be in range [0, n).
+Csr coo_to_csr(const Coo& coo);
+
+/// CSR -> CSC (also computes the transpose's storage; values follow if
+/// present). Output columns are sorted because input rows are.
+Csc csr_to_csc(const Csr& a);
+
+/// CSC -> CSR.
+Csr csc_to_csr(const Csc& a);
+
+/// Transpose in CSR.
+Csr transpose(const Csr& a);
+
+/// Returns the position map m with csc.values[m[k]] corresponding to
+/// csr entry k, for a CSR and CSC holding the same pattern. The numeric
+/// kernels use it to walk a U row (CSR order) while updating CSC storage.
+std::vector<offset_t> csr_to_csc_position_map(const Csr& csr, const Csc& csc);
+
+}  // namespace e2elu

@@ -1,0 +1,25 @@
+// Coordinate (triplet) format — the assembly and file-exchange format.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace e2elu {
+
+/// One matrix entry. Duplicates are allowed in a Coo and are summed when
+/// converting to CSR/CSC (finite-element style assembly).
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  value_t value = 0;
+};
+
+struct Coo {
+  index_t n = 0;
+  std::vector<Triplet> entries;
+
+  void add(index_t i, index_t j, value_t v) { entries.push_back({i, j, v}); }
+};
+
+}  // namespace e2elu

@@ -1,0 +1,29 @@
+#include "matrix/csc.hpp"
+
+#include "support/check.hpp"
+
+namespace e2elu {
+
+void validate(const Csc& a) {
+  E2ELU_CHECK(a.n >= 0);
+  E2ELU_CHECK(a.col_ptr.size() == static_cast<std::size_t>(a.n) + 1);
+  E2ELU_CHECK(a.col_ptr.front() == 0);
+  for (index_t j = 0; j < a.n; ++j) {
+    E2ELU_CHECK_MSG(a.col_ptr[j] <= a.col_ptr[j + 1],
+                    "col_ptr not monotone at column " << j);
+    for (offset_t k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      const index_t i = a.row_idx[k];
+      E2ELU_CHECK_MSG(i >= 0 && i < a.n,
+                      "row " << i << " out of range in column " << j);
+      if (k > a.col_ptr[j]) {
+        E2ELU_CHECK_MSG(a.row_idx[k - 1] < i,
+                        "column " << j << " not strictly sorted");
+      }
+    }
+  }
+  E2ELU_CHECK(a.row_idx.size() == static_cast<std::size_t>(a.nnz()));
+  E2ELU_CHECK(a.values.empty() ||
+              a.values.size() == static_cast<std::size_t>(a.nnz()));
+}
+
+}  // namespace e2elu

@@ -1,0 +1,45 @@
+// Compressed sparse column (CSC) storage.
+//
+// The paper's numeric-factorization contribution (§3.4, Algorithm 6)
+// stores the working matrix As in *sorted* CSC so that a binary search
+// over row ids can replace dense-column indexing. Keeping row ids sorted
+// within each column is therefore an invariant here, not an option
+// (footnote 1 of the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace e2elu {
+
+struct Csc {
+  index_t n = 0;
+  std::vector<offset_t> col_ptr;  // size n+1
+  std::vector<index_t> row_idx;   // sorted strictly within a column
+  std::vector<value_t> values;    // may be empty for pattern-only
+
+  Csc() = default;
+  explicit Csc(index_t n_) : n(n_), col_ptr(static_cast<std::size_t>(n_) + 1, 0) {}
+
+  offset_t nnz() const { return col_ptr.empty() ? 0 : col_ptr.back(); }
+
+  std::span<const index_t> col_rows(index_t j) const {
+    return {row_idx.data() + col_ptr[j],
+            static_cast<std::size_t>(col_ptr[j + 1] - col_ptr[j])};
+  }
+  std::span<const value_t> col_vals(index_t j) const {
+    return {values.data() + col_ptr[j],
+            static_cast<std::size_t>(col_ptr[j + 1] - col_ptr[j])};
+  }
+  std::span<value_t> col_vals(index_t j) {
+    return {values.data() + col_ptr[j],
+            static_cast<std::size_t>(col_ptr[j + 1] - col_ptr[j])};
+  }
+};
+
+/// Structural validation; throws e2elu::Error on violation.
+void validate(const Csc& a);
+
+}  // namespace e2elu

@@ -1,0 +1,64 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+
+namespace e2elu {
+
+void validate(const Csr& a) {
+  E2ELU_CHECK_MSG(a.n >= 0, "negative dimension");
+  E2ELU_CHECK_MSG(a.row_ptr.size() == static_cast<std::size_t>(a.n) + 1,
+                  "row_ptr size " << a.row_ptr.size() << " for n=" << a.n);
+  E2ELU_CHECK_MSG(a.row_ptr.front() == 0, "row_ptr must start at 0");
+  for (index_t i = 0; i < a.n; ++i) {
+    E2ELU_CHECK_MSG(a.row_ptr[i] <= a.row_ptr[i + 1],
+                    "row_ptr not monotone at row " << i);
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const index_t j = a.col_idx[k];
+      E2ELU_CHECK_MSG(j >= 0 && j < a.n,
+                      "column " << j << " out of range in row " << i);
+      if (k > a.row_ptr[i]) {
+        E2ELU_CHECK_MSG(a.col_idx[k - 1] < j,
+                        "row " << i << " not strictly sorted at position " << k);
+      }
+    }
+  }
+  E2ELU_CHECK_MSG(a.col_idx.size() == static_cast<std::size_t>(a.nnz()),
+                  "col_idx size mismatch");
+  E2ELU_CHECK_MSG(a.values.empty() ||
+                      a.values.size() == static_cast<std::size_t>(a.nnz()),
+                  "values size mismatch");
+}
+
+bool has_full_diagonal(const Csr& a) {
+  for (index_t i = 0; i < a.n; ++i) {
+    if (!has_entry(a, i, i)) return false;
+  }
+  return true;
+}
+
+namespace {
+// Returns the position of (i,j) in col_idx, or -1 if absent.
+offset_t find_position(const Csr& a, index_t i, index_t j) {
+  const auto begin = a.col_idx.begin() + a.row_ptr[i];
+  const auto end = a.col_idx.begin() + a.row_ptr[i + 1];
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return -1;
+  return it - a.col_idx.begin();
+}
+}  // namespace
+
+value_t get_entry(const Csr& a, index_t i, index_t j) {
+  const offset_t pos = find_position(a, i, j);
+  if (pos < 0 || a.values.empty()) return value_t{0};
+  return a.values[pos];
+}
+
+bool has_entry(const Csr& a, index_t i, index_t j) {
+  return find_position(a, i, j) >= 0;
+}
+
+bool same_pattern(const Csr& a, const Csr& b) {
+  return a.n == b.n && a.row_ptr == b.row_ptr && a.col_idx == b.col_idx;
+}
+
+}  // namespace e2elu

@@ -1,0 +1,70 @@
+// Compressed sparse row (CSR) storage for square sparse matrices.
+//
+// CSR doubles as the *graph* representation used by symbolic
+// factorization: row i's column indices are the out-neighbors of vertex i
+// in G(A), exactly as in Figure 1(b) of the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace e2elu {
+
+/// Square sparse matrix in CSR. `values` may be empty, in which case the
+/// object represents a sparsity pattern only (as produced by symbolic
+/// factorization stage 1).
+struct Csr {
+  index_t n = 0;
+  std::vector<offset_t> row_ptr;  // size n+1, non-decreasing
+  std::vector<index_t> col_idx;   // size nnz, sorted strictly within a row
+  std::vector<value_t> values;    // size nnz, or empty for pattern-only
+
+  Csr() = default;
+  explicit Csr(index_t n_) : n(n_), row_ptr(static_cast<std::size_t>(n_) + 1, 0) {}
+
+  offset_t nnz() const { return row_ptr.empty() ? 0 : row_ptr.back(); }
+  bool pattern_only() const { return values.empty() && nnz() > 0; }
+
+  std::span<const index_t> row_cols(index_t i) const {
+    return {col_idx.data() + row_ptr[i],
+            static_cast<std::size_t>(row_ptr[i + 1] - row_ptr[i])};
+  }
+  std::span<const value_t> row_vals(index_t i) const {
+    return {values.data() + row_ptr[i],
+            static_cast<std::size_t>(row_ptr[i + 1] - row_ptr[i])};
+  }
+  std::span<value_t> row_vals(index_t i) {
+    return {values.data() + row_ptr[i],
+            static_cast<std::size_t>(row_ptr[i + 1] - row_ptr[i])};
+  }
+
+  /// Average non-zeros per row — the density axis (nnz/n) the paper keys
+  /// its speedup analysis on.
+  double nnz_per_row() const {
+    return n == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(n);
+  }
+};
+
+/// Validates structural invariants: sizes, monotone offsets, sorted
+/// duplicate-free in-range column indices. Throws e2elu::Error on the
+/// first violation.
+void validate(const Csr& a);
+
+/// True iff every diagonal entry (i,i) is structurally present. LU without
+/// pivoting (the GLU family, and this paper) requires this; preprocessing
+/// guarantees it.
+bool has_full_diagonal(const Csr& a);
+
+/// Value of entry (i,j), or 0 if not stored. Binary search; O(log row).
+value_t get_entry(const Csr& a, index_t i, index_t j);
+
+/// True iff (i,j) is structurally present.
+bool has_entry(const Csr& a, index_t i, index_t j);
+
+/// Structural equality of two patterns (ignores values).
+bool same_pattern(const Csr& a, const Csr& b);
+
+}  // namespace e2elu

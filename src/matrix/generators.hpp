@@ -1,0 +1,66 @@
+// Synthetic sparse-matrix generators.
+//
+// The paper evaluates on SuiteSparse matrices (Table 2) and four huge
+// graph matrices (Table 4). Those files are not redistributable inside
+// this repository, so the benchmark suite substitutes deterministic
+// generators that reproduce the axes the paper's analysis keys on:
+//   * n               — drives the O(n) per-row scratch and thus chunking,
+//   * nnz/n (density) — the paper's explanation for the speedup spread,
+//   * structure class — banded/FEM vs circuit-with-hubs changes how the
+//                       fill2 frontier grows with the source-row id
+//                       (Figure 3's shape).
+// All generators return strictly diagonally dominant matrices so that LU
+// without pivoting (the GLU family's setting) is numerically safe.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.hpp"
+
+namespace e2elu {
+
+/// 5-point stencil Laplacian on an nx-by-ny grid (n = nx*ny).
+/// FEM/Poisson-style structure: symmetric pattern, low bandwidth.
+Csr gen_grid2d(index_t nx, index_t ny);
+
+/// 7-point stencil on an nx*ny*nz grid.
+Csr gen_grid3d(index_t nx, index_t ny, index_t nz);
+
+/// Banded matrix with random off-diagonals: every row has entries at
+/// (i,i), and ~nnz_per_row-1 further entries uniformly inside
+/// [i-bandwidth, i+bandwidth]. Structural stand-in for the FEM/structural
+/// and CFD matrices (bmw*, crankseg*, s3dk*, rma10, mixtank, ...) whose
+/// fill stays inside a band after reordering.
+Csr gen_banded(index_t n, index_t bandwidth, double nnz_per_row,
+               std::uint64_t seed);
+
+/// Circuit-style matrix: a resistive ladder (tri-diagonal backbone) plus
+/// `num_hubs` hub nodes (power/ground rails) each coupling to
+/// `hub_degree` uniformly spread nodes, plus sparse random long-range
+/// couplings. Hubs make fill2's frontier grow with the source-row id,
+/// reproducing the Figure 3 profile of pre2/onetone/rajat.
+Csr gen_circuit(index_t n, double nnz_per_row, index_t num_hubs,
+                index_t hub_degree, std::uint64_t seed);
+
+/// Near-planar bounded-degree graph matrix: path backbone plus short
+/// random chords within a small window. Stand-in for the Table 4 huge
+/// matrices (hugetrace, delaunay, hugebubbles): enormous n, tiny nnz/n.
+/// Like the paper, diagonal entries are forced non-zero (the paper patches
+/// zero diagonals with 1000 to make these factorizable).
+Csr gen_near_planar(index_t n, double nnz_per_row, index_t window,
+                    std::uint64_t seed);
+
+/// Independent near-planar blocks: `n / block_size` disjoint chains of
+/// `block_size` vertices, each with short random chords (as
+/// gen_near_planar). Stand-in for the Table 4 mesh/trace matrices whose
+/// defining property for §3.4 is an extremely *wide* level schedule —
+/// thousands of mutually independent columns per level — so the dense
+/// format's resident-column cap M < TB_max actually bites (Figure 8).
+Csr gen_blocked_planar(index_t n, index_t block_size, double nnz_per_row,
+                       index_t window, std::uint64_t seed);
+
+/// Rescales values so each row is strictly diagonally dominant:
+/// |a_ii| = 1 + sum_j |a_ij|. Requires a full structural diagonal.
+void make_diagonally_dominant(Csr& a);
+
+}  // namespace e2elu

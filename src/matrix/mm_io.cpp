@@ -1,0 +1,106 @@
+#include "matrix/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace e2elu {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  E2ELU_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  E2ELU_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  E2ELU_CHECK_MSG(object == "matrix", "unsupported object: " << object);
+  E2ELU_CHECK_MSG(format == "coordinate",
+                  "only coordinate format is supported, got " << format);
+  E2ELU_CHECK_MSG(field == "real" || field == "integer" || field == "pattern",
+                  "unsupported field: " << field);
+  E2ELU_CHECK_MSG(symmetry == "general" || symmetry == "symmetric" ||
+                      symmetry == "skew-symmetric",
+                  "unsupported symmetry: " << symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  long rows = 0, cols = 0, declared_nnz = 0;
+  {
+    std::istringstream sizes(line);
+    E2ELU_CHECK_MSG(sizes >> rows >> cols >> declared_nnz,
+                    "malformed size line: " << line);
+  }
+  E2ELU_CHECK_MSG(rows == cols,
+                  "matrix is " << rows << "x" << cols
+                               << "; LU factorization needs square input");
+
+  Coo coo;
+  coo.n = static_cast<index_t>(rows);
+  coo.entries.reserve(static_cast<std::size_t>(declared_nnz));
+  const bool has_value = field != "pattern";
+  for (long k = 0; k < declared_nnz; ++k) {
+    long i = 0, j = 0;
+    double v = 1.0;
+    E2ELU_CHECK_MSG(in >> i >> j, "truncated entry list at entry " << k);
+    if (has_value) E2ELU_CHECK_MSG(in >> v, "missing value at entry " << k);
+    E2ELU_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                    "entry (" << i << "," << j << ") out of range");
+    const index_t r = static_cast<index_t>(i - 1);
+    const index_t c = static_cast<index_t>(j - 1);
+    coo.add(r, c, static_cast<value_t>(v));
+    if (symmetry == "symmetric" && r != c) {
+      coo.add(c, r, static_cast<value_t>(v));
+    } else if (symmetry == "skew-symmetric" && r != c) {
+      coo.add(c, r, static_cast<value_t>(-v));
+    }
+  }
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  E2ELU_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  E2ELU_CHECK_MSG(!a.pattern_only(), "refusing to write a pattern-only matrix "
+                                     "as real; it has no values");
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.n << " " << a.n << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t i = 0; i < a.n; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      out << (i + 1) << " " << (a.col_idx[k] + 1) << " " << a.values[k]
+          << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream out(path);
+  E2ELU_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_matrix_market(out, a);
+}
+
+}  // namespace e2elu

@@ -1,0 +1,28 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper evaluates on SuiteSparse matrices distributed in this format.
+// The benchmark suite ships synthetic stand-ins (see matrix/suite.hpp),
+// but any real SuiteSparse file can be dropped in through this reader.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace e2elu {
+
+/// Reads a Matrix Market coordinate file. Supports real / integer /
+/// pattern fields and general / symmetric / skew-symmetric symmetry
+/// (symmetric entries are mirrored; pattern entries get value 1).
+/// Rectangular matrices are rejected — LU factorization needs square
+/// input. Throws e2elu::Error on malformed input.
+Coo read_matrix_market(std::istream& in);
+Coo read_matrix_market_file(const std::string& path);
+
+/// Writes a general real coordinate Matrix Market file.
+void write_matrix_market(std::ostream& out, const Csr& a);
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace e2elu

@@ -1,0 +1,118 @@
+// Internal building blocks shared by the numeric executors: the atomic
+// update, Algorithm 6's binary search, and the per-column factorization
+// step of Algorithm 2.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "numeric/numeric.hpp"
+#include "support/check.hpp"
+
+namespace e2elu::numeric::detail {
+
+static_assert(std::atomic<value_t>::is_always_lock_free,
+              "numeric kernels need lock-free atomic updates on value_t");
+
+/// Atomic As(i,k) -= delta. Columns within a level may update the same
+/// sub-column element concurrently (GLU3.0 uses atomics here too);
+/// subtraction commutes, so ordering does not matter.
+inline void atomic_sub(value_t& slot, value_t delta) {
+  auto& a = reinterpret_cast<std::atomic<value_t>&>(slot);
+  value_t old = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(old, old - delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+/// Algorithm 6: binary search for row `i` inside sorted CSC column `j`.
+/// Returns the value position; the fill-in theorem guarantees presence
+/// for every (i,k) the right-looking update touches, so absence is a
+/// symbolic-phase bug and trips the check. Adds ceil(log2(len)) to *ops.
+inline offset_t bsearch_position(const Csc& csc, index_t j, index_t i,
+                                 std::uint64_t& ops) {
+  offset_t fs = csc.col_ptr[j];
+  offset_t fe = csc.col_ptr[j + 1] - 1;
+  while (fe >= fs) {
+    ++ops;
+    const offset_t mid = (fs + fe) / 2;
+    if (csc.row_idx[mid] == i) return mid;
+    if (csc.row_idx[mid] > i) {
+      fe = mid - 1;
+    } else {
+      fs = mid + 1;
+    }
+  }
+  E2ELU_CHECK_MSG(false, "update target (" << i << "," << j
+                                           << ") missing from the fill "
+                                              "pattern");
+  return -1;
+}
+
+/// Factorizes column j of `m` in place with binary-search element access
+/// (lines 2-6 of Algorithm 2, then the sub-column updates of lines 7-15).
+/// Used by both the sequential reference and the sparse GPU executor.
+inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
+  std::uint64_t ops = 0;
+  const offset_t dp = m.diag_pos[j];
+  const value_t diag = m.csc.values[dp];
+  E2ELU_CHECK_MSG(diag != value_t{0}, "zero pivot in column " << j);
+
+  const offset_t col_end = m.csc.col_ptr[j + 1];
+  for (offset_t p = dp + 1; p < col_end; ++p) {
+    m.csc.values[p] /= diag;  // L(:,j); entries below the diagonal
+    ++ops;
+  }
+
+  // Sub-columns: the strictly-upper entries of pattern row j.
+  for (offset_t rp = m.pattern.row_ptr[j]; rp < m.pattern.row_ptr[j + 1];
+       ++rp) {
+    const index_t k = m.pattern.col_idx[rp];
+    if (k <= j) continue;
+    const value_t ujk = m.csc.values[m.csr_pos_to_csc[rp]];
+    ++ops;
+    if (ujk == value_t{0}) continue;  // numerically dead sub-column
+    for (offset_t p = dp + 1; p < col_end; ++p) {
+      const index_t i = m.csc.row_idx[p];
+      const value_t lij = m.csc.values[p];
+      const offset_t pos = bsearch_position(m.csc, k, i, ops);
+      atomic_sub(m.csc.values[pos], lij * ujk);
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+/// Mean strictly-lower column length over one level — drives the
+/// warp-efficiency estimate for its kernels.
+inline double mean_l_length(const FactorMatrix& m,
+                            const scheduling::LevelSchedule& s, index_t l) {
+  std::uint64_t total = 0;
+  for (index_t k = s.level_ptr[l]; k < s.level_ptr[l + 1]; ++k) {
+    const index_t j = s.level_cols[k];
+    total += static_cast<std::uint64_t>(m.csc.col_ptr[j + 1] -
+                                        m.diag_pos[j] - 1);
+  }
+  const index_t width = s.level_ptr[l + 1] - s.level_ptr[l];
+  return width == 0 ? 0.0 : static_cast<double>(total) / width;
+}
+
+/// Mean sub-column count over one level — the other axis of the GLU3.0
+/// level taxonomy.
+inline double mean_sub_columns(const FactorMatrix& m,
+                               const scheduling::LevelSchedule& s,
+                               index_t l) {
+  std::uint64_t total = 0;
+  for (index_t k = s.level_ptr[l]; k < s.level_ptr[l + 1]; ++k) {
+    const index_t j = s.level_cols[k];
+    // Strictly-upper length of pattern row j equals the CSR row length
+    // minus the lower-and-diagonal prefix.
+    const auto cols = m.pattern.row_cols(j);
+    const auto it = std::upper_bound(cols.begin(), cols.end(), j);
+    total += static_cast<std::uint64_t>(cols.end() - it);
+  }
+  const index_t width = s.level_ptr[l + 1] - s.level_ptr[l];
+  return width == 0 ? 0.0 : static_cast<double>(total) / width;
+}
+
+}  // namespace e2elu::numeric::detail

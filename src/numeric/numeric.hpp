@@ -1,0 +1,91 @@
+// Numeric factorization — the hybrid column-based right-looking algorithm
+// (Algorithm 2) executed level by level, in the two storage regimes the
+// paper compares in §3.4:
+//
+//   * dense-window (GLU3.0 baseline): active columns are scattered into
+//     dense length-n arrays for O(1) element access. The window holds at
+//     most M = free_device_memory / (n * sizeof(value_t)) columns, which
+//     caps the number of concurrently factorizable columns — Table 4's
+//     "max #blocks" — and falls below the device's TB_max for very
+//     large n.
+//   * sparse binary-search (the paper's contribution): As stays in sorted
+//     CSC; element access is a binary search over the column's row ids
+//     (Algorithm 6). Access costs O(log nnz(col)) but the resident-column
+//     cap disappears, so whole levels factorize at full occupancy —
+//     Figure 8's 2.88-3.33x at Table 4 sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "scheduling/levelize.hpp"
+
+namespace e2elu::numeric {
+
+/// The working matrix As: the filled pattern in both orientations plus the
+/// numeric values, stored in CSC order (the format Algorithm 6 searches).
+struct FactorMatrix {
+  Csr pattern;                         ///< filled pattern, rows sorted
+  Csc csc;                             ///< same pattern, values live here
+  std::vector<offset_t> csr_pos_to_csc;  ///< CSR walk -> CSC value position
+  std::vector<offset_t> diag_pos;      ///< position of (j,j) in csc column j
+
+  index_t n() const { return pattern.n; }
+
+  /// Builds As from the symbolic pattern and scatters A's values into it;
+  /// fill-in positions start at zero. `filled` must contain `a`'s pattern
+  /// (it does, by Theorem 1) and a full diagonal.
+  static FactorMatrix build(const Csr& filled, const Csr& a);
+};
+
+struct NumericOptions {
+  // Reserved for future tuning knobs; SIMT efficiency is modeled by
+  // gpusim::DeviceSpec::simt_efficiency from the level's mean L-column
+  // length.
+};
+
+struct NumericStats {
+  std::uint64_t ops = 0;
+  double wall_ms = 0;
+  index_t window_columns = 0;  ///< dense mode: M, the resident-column cap
+  index_t num_batches = 0;     ///< dense mode: scatter/factor/gather rounds
+};
+
+/// Sequential host execution of Algorithm 2 over the level schedule —
+/// the correctness reference.
+NumericStats factorize_reference(FactorMatrix& m,
+                                 const scheduling::LevelSchedule& s);
+
+/// GLU3.0-style dense-window execution on the simulated device.
+NumericStats factorize_dense_window(gpusim::Device& device, FactorMatrix& m,
+                                    const scheduling::LevelSchedule& s,
+                                    const NumericOptions& opt = {});
+
+/// Sorted-CSC binary-search execution (Algorithm 6) on the simulated
+/// device, with GLU3.0's type-A/B/C kernel mapping per level.
+NumericStats factorize_sparse_bsearch(gpusim::Device& device, FactorMatrix& m,
+                                      const scheduling::LevelSchedule& s,
+                                      const NumericOptions& opt = {});
+
+/// M = L_free / (n * sizeof(value_t)): the dense-format concurrency cap
+/// (Table 4's "max #blocks" column).
+index_t max_parallel_dense_columns(std::size_t free_bytes, index_t n);
+
+/// The paper's format-switch rule: use sparse when
+/// n > L / (TB_max * sizeof(value_t)).
+bool should_use_sparse_format(const gpusim::DeviceSpec& spec, index_t n);
+
+/// Splits the factorized As into L (unit diagonal, stored explicitly) and
+/// U (including the diagonal), both CSR.
+void extract_lu(const FactorMatrix& m, Csr& l, Csr& u);
+
+/// Dense reference LU without pivoting for small matrices (tests): fills
+/// l and u such that l*u == dense(a).
+void dense_lu_reference(const Csr& a, std::vector<value_t>& l,
+                        std::vector<value_t>& u);
+
+}  // namespace e2elu::numeric

@@ -1,0 +1,84 @@
+// Diagonal matching (MC64-lite).
+//
+// LU without pivoting needs a structurally non-zero diagonal. We compute a
+// perfect matching between rows and columns in the bipartite occurrence
+// graph, greedily seeding with the largest-magnitude candidate per row and
+// completing with Kuhn augmenting paths. This is the "static pivoting"
+// substitute for HSL MC64 that SuperLU_DIST-style pipelines use.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "preprocess/preprocess.hpp"
+#include "support/check.hpp"
+
+namespace e2elu {
+
+namespace {
+
+// Kuhn's augmenting path search from row `i`.
+bool augment(const Csr& a, index_t i, std::vector<index_t>& col_to_row,
+             std::vector<index_t>& visited_stamp, index_t stamp) {
+  for (index_t j : a.row_cols(i)) {
+    if (visited_stamp[j] == stamp) continue;
+    visited_stamp[j] = stamp;
+    if (col_to_row[j] < 0 || augment(a, col_to_row[j], col_to_row,
+                                     visited_stamp, stamp)) {
+      col_to_row[j] = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Permutation diagonal_matching(const Csr& a) {
+  std::vector<index_t> col_to_row(a.n, -1);
+  std::vector<index_t> row_matched(a.n, 0);
+
+  // Greedy seed: give each row its largest unclaimed entry. Processing
+  // rows by ascending degree lets constrained rows pick first.
+  std::vector<index_t> order(a.n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return a.row_ptr[x + 1] - a.row_ptr[x] < a.row_ptr[y + 1] - a.row_ptr[y];
+  });
+  const bool with_values = !a.values.empty();
+  for (index_t i : order) {
+    index_t best = -1;
+    value_t best_mag = -1;
+    const auto cols = a.row_cols(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (col_to_row[cols[k]] >= 0) continue;
+      const value_t mag =
+          with_values ? std::abs(a.row_vals(i)[k]) : value_t{1};
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = cols[k];
+      }
+    }
+    if (best >= 0) {
+      col_to_row[best] = i;
+      row_matched[i] = 1;
+    }
+  }
+
+  // Complete the matching with augmenting paths.
+  std::vector<index_t> visited_stamp(a.n, -1);
+  for (index_t i = 0; i < a.n; ++i) {
+    if (row_matched[i]) continue;
+    E2ELU_CHECK_MSG(augment(a, i, col_to_row, visited_stamp, i),
+                    "matrix is structurally singular: no perfect matching "
+                    "covers row " << i);
+  }
+
+  // col_to_row[j] = i means entry (i,j) goes on the diagonal; the column
+  // permutation must map new column i to old column j.
+  Permutation q(a.n);
+  for (index_t j = 0; j < a.n; ++j) q[col_to_row[j]] = j;
+  return q;
+}
+
+}  // namespace e2elu

@@ -1,0 +1,144 @@
+// Fill-reducing orderings on the symmetrized pattern A + A^T.
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "matrix/convert.hpp"
+#include "preprocess/preprocess.hpp"
+#include "support/check.hpp"
+
+namespace e2elu {
+
+namespace {
+
+// Adjacency of A + A^T without self-loops, in CSR arrays.
+struct SymGraph {
+  std::vector<offset_t> ptr;
+  std::vector<index_t> adj;
+};
+
+SymGraph symmetrize(const Csr& a) {
+  const Csr at = transpose(a);
+  SymGraph g;
+  g.ptr.assign(static_cast<std::size_t>(a.n) + 1, 0);
+  // Two-pointer merge of row i of A and row i of A^T.
+  auto merge_row = [&](index_t i, auto&& emit) {
+    const auto ra = a.row_cols(i);
+    const auto rt = at.row_cols(i);
+    std::size_t x = 0, y = 0;
+    while (x < ra.size() || y < rt.size()) {
+      index_t v;
+      if (y == rt.size() || (x < ra.size() && ra[x] < rt[y])) {
+        v = ra[x++];
+      } else if (x == ra.size() || rt[y] < ra[x]) {
+        v = rt[y++];
+      } else {
+        v = ra[x];
+        ++x;
+        ++y;
+      }
+      if (v != i) emit(v);
+    }
+  };
+  for (index_t i = 0; i < a.n; ++i) {
+    offset_t cnt = 0;
+    merge_row(i, [&](index_t) { ++cnt; });
+    g.ptr[i + 1] = g.ptr[i] + cnt;
+  }
+  g.adj.resize(g.ptr.back());
+  for (index_t i = 0; i < a.n; ++i) {
+    offset_t w = g.ptr[i];
+    merge_row(i, [&](index_t v) { g.adj[w++] = v; });
+  }
+  return g;
+}
+
+}  // namespace
+
+Permutation rcm_ordering(const Csr& a) {
+  const SymGraph g = symmetrize(a);
+  const index_t n = a.n;
+  std::vector<index_t> degree(n);
+  for (index_t i = 0; i < n; ++i) {
+    degree[i] = static_cast<index_t>(g.ptr[i + 1] - g.ptr[i]);
+  }
+
+  Permutation order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::vector<index_t> nbrs;
+
+  for (index_t seed_scan = 0; seed_scan < n; ++seed_scan) {
+    if (placed[seed_scan]) continue;
+    // Start each component from a minimum-degree vertex in it (cheap
+    // pseudo-peripheral substitute).
+    index_t seed = seed_scan;
+    std::queue<index_t> bfs;
+    bfs.push(seed);
+    placed[seed] = true;
+    order.push_back(seed);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      const index_t u = order[head];
+      nbrs.clear();
+      for (offset_t k = g.ptr[u]; k < g.ptr[u + 1]; ++k) {
+        const index_t v = g.adj[k];
+        if (!placed[v]) {
+          placed[v] = true;
+          nbrs.push_back(v);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t x, index_t y) {
+        return degree[x] < degree[y];
+      });
+      order.insert(order.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());  // the "reverse" in RCM
+  return order;
+}
+
+Permutation min_degree_ordering(const Csr& a) {
+  const SymGraph g = symmetrize(a);
+  const index_t n = a.n;
+
+  // Elimination graph as per-vertex sorted neighbor sets. Greedy minimum
+  // degree with lazy priority-queue updates.
+  std::vector<std::set<index_t>> adj(n);
+  for (index_t i = 0; i < n; ++i) {
+    adj[i].insert(g.adj.begin() + g.ptr[i], g.adj.begin() + g.ptr[i + 1]);
+  }
+
+  using Entry = std::pair<index_t, index_t>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (index_t i = 0; i < n; ++i) {
+    heap.emplace(static_cast<index_t>(adj[i].size()), i);
+  }
+
+  Permutation order;
+  order.reserve(n);
+  std::vector<bool> eliminated(n, false);
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (eliminated[v] || deg != static_cast<index_t>(adj[v].size())) {
+      continue;  // stale entry
+    }
+    eliminated[v] = true;
+    order.push_back(v);
+    // Form the clique of v's remaining neighbors.
+    std::vector<index_t> nbrs(adj[v].begin(), adj[v].end());
+    for (index_t u : nbrs) {
+      adj[u].erase(v);
+      for (index_t w : nbrs) {
+        if (w != u && !eliminated[w]) adj[u].insert(w);
+      }
+      heap.emplace(static_cast<index_t>(adj[u].size()), u);
+    }
+    adj[v].clear();
+  }
+  return order;
+}
+
+}  // namespace e2elu

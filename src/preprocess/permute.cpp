@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <numeric>
+
+#include "preprocess/preprocess.hpp"
+#include "support/check.hpp"
+
+namespace e2elu {
+
+bool is_permutation(const Permutation& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (index_t v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size() || seen[v]) {
+      return false;
+    }
+    seen[v] = true;
+  }
+  return true;
+}
+
+Permutation invert_permutation(const Permutation& p) {
+  Permutation inv(p.size());
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    inv[p[k]] = static_cast<index_t>(k);
+  }
+  return inv;
+}
+
+Csr permute(const Csr& a, const Permutation& row_perm,
+            const Permutation& col_perm) {
+  E2ELU_CHECK(row_perm.size() == static_cast<std::size_t>(a.n));
+  E2ELU_CHECK(col_perm.size() == static_cast<std::size_t>(a.n));
+  const Permutation col_inv = invert_permutation(col_perm);
+  const bool with_values = !a.values.empty();
+
+  Csr out(a.n);
+  out.col_idx.resize(a.nnz());
+  if (with_values) out.values.resize(a.nnz());
+
+  for (index_t i = 0; i < a.n; ++i) {
+    const index_t old_row = row_perm[i];
+    out.row_ptr[i + 1] =
+        out.row_ptr[i] + (a.row_ptr[old_row + 1] - a.row_ptr[old_row]);
+  }
+
+  std::vector<std::pair<index_t, value_t>> row_buf;
+  for (index_t i = 0; i < a.n; ++i) {
+    const index_t old_row = row_perm[i];
+    row_buf.clear();
+    for (offset_t k = a.row_ptr[old_row]; k < a.row_ptr[old_row + 1]; ++k) {
+      row_buf.emplace_back(col_inv[a.col_idx[k]],
+                           with_values ? a.values[k] : value_t{0});
+    }
+    std::sort(row_buf.begin(), row_buf.end());
+    offset_t w = out.row_ptr[i];
+    for (const auto& [col, val] : row_buf) {
+      out.col_idx[w] = col;
+      if (with_values) out.values[w] = val;
+      ++w;
+    }
+  }
+  return out;
+}
+
+Scaling equilibrate(Csr& a) {
+  E2ELU_CHECK_MSG(!a.values.empty(), "cannot equilibrate a pattern-only matrix");
+  Scaling s;
+  s.row_scale.assign(a.n, value_t{1});
+  s.col_scale.assign(a.n, value_t{1});
+
+  for (index_t i = 0; i < a.n; ++i) {
+    value_t row_max = 0;
+    for (value_t v : a.row_vals(i)) row_max = std::max(row_max, std::abs(v));
+    if (row_max > 0) s.row_scale[i] = value_t{1} / row_max;
+    for (value_t& v : a.row_vals(i)) v *= s.row_scale[i];
+  }
+  std::vector<value_t> col_max(a.n, value_t{0});
+  for (index_t i = 0; i < a.n; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      col_max[cols[k]] = std::max(col_max[cols[k]], std::abs(vals[k]));
+    }
+  }
+  for (index_t j = 0; j < a.n; ++j) {
+    if (col_max[j] > 0) s.col_scale[j] = value_t{1} / col_max[j];
+  }
+  for (index_t i = 0; i < a.n; ++i) {
+    const auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      vals[k] *= s.col_scale[cols[k]];
+    }
+  }
+  return s;
+}
+
+index_t patch_zero_diagonal(Csr& a, value_t value) {
+  E2ELU_CHECK_MSG(!a.values.empty(), "cannot patch a pattern-only matrix");
+  index_t patched = 0;
+  bool any_missing = false;
+  for (index_t i = 0; i < a.n && !any_missing; ++i) {
+    if (!has_entry(a, i, i)) any_missing = true;
+  }
+
+  if (!any_missing) {
+    for (index_t i = 0; i < a.n; ++i) {
+      const auto cols = a.row_cols(i);
+      auto vals = a.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == i && vals[k] == value_t{0}) {
+          vals[k] = value;
+          ++patched;
+        }
+      }
+    }
+    return patched;
+  }
+
+  // Rebuild with structural diagonals inserted.
+  Csr out(a.n);
+  out.col_idx.reserve(a.nnz() + a.n);
+  out.values.reserve(a.nnz() + a.n);
+  for (index_t i = 0; i < a.n; ++i) {
+    bool saw_diag = false;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (!saw_diag && cols[k] > i) {
+        out.col_idx.push_back(i);
+        out.values.push_back(value);
+        ++patched;
+        saw_diag = true;
+      }
+      if (cols[k] == i) {
+        saw_diag = true;
+        out.col_idx.push_back(i);
+        out.values.push_back(vals[k] == value_t{0} ? (++patched, value)
+                                                   : vals[k]);
+      } else {
+        out.col_idx.push_back(cols[k]);
+        out.values.push_back(vals[k]);
+      }
+    }
+    if (!saw_diag) {
+      out.col_idx.push_back(i);
+      out.values.push_back(value);
+      ++patched;
+    }
+    out.row_ptr[i + 1] = static_cast<offset_t>(out.col_idx.size());
+  }
+  a = std::move(out);
+  return patched;
+}
+
+}  // namespace e2elu

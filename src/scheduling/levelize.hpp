@@ -1,0 +1,98 @@
+// Column-dependency scheduling (the paper's §3.3).
+//
+// The hybrid right-looking numeric factorization (Algorithm 2) processes
+// columns level by level: columns in a level are mutually independent and
+// factorize in parallel. Levelization — assigning each column its level —
+// is a topological sort of the column dependency graph, and the paper's
+// contribution is running Kahn's algorithm entirely on the GPU with
+// dynamic parallelism (Algorithm 5), eliminating both per-level host
+// synchronization and host-side kernel-launch overhead.
+//
+// Dependency rule: for columns i < j there is an edge i -> j when
+// As(i,j) != 0 (the U dependency the paper states in §2.2) or
+// As(j,i) != 0 (the L side, which subsumes GLU's "double-U" dependency:
+// column i's sub-column updates write row j of later columns whenever
+// L(j,i) != 0, so j must not start reading those rows before i is done).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "matrix/csr.hpp"
+
+namespace e2elu::scheduling {
+
+/// Column dependency graph in CSR adjacency (edges i -> j, i < j only).
+struct DependencyGraph {
+  index_t n = 0;
+  std::vector<offset_t> adj_ptr;  ///< size n+1
+  std::vector<index_t> adj;       ///< sorted successors (> source)
+  offset_t num_edges() const { return adj_ptr.empty() ? 0 : adj_ptr.back(); }
+};
+
+/// Which inter-column dependencies to encode (§2.2 and the GLU lineage
+/// discussion in §5).
+enum class DependencyRule {
+  /// Edge i -> j iff i < j and (As(i,j) != 0 or As(j,i) != 0). The
+  /// symmetrized rule: every L entry is conservatively treated as a
+  /// dependency. Always safe, cheapest to build — GLU3.0's "relaxed but
+  /// much more efficient" detection.
+  Symmetrized,
+  /// U edges plus the *exact* double-U dependencies of the original GLU:
+  /// for an L-only coupling As(j,i) != 0 (i < j, As(i,j) == 0) an edge is
+  /// needed iff columns i and j share a sub-column k (U(i,k) != 0 and
+  /// U(j,k) != 0): column i's right-looking update then writes As(j,k),
+  /// which column j reads as a multiplier. Fewer edges, shallower
+  /// schedules, costlier detection (a row intersection per L entry).
+  DoubleU,
+};
+
+/// Builds the dependency graph from the filled pattern As (pattern-only
+/// CSR is fine).
+DependencyGraph build_dependency_graph(
+    const Csr& filled, DependencyRule rule = DependencyRule::Symmetrized);
+
+/// The level schedule: level(k) = 1 + max level over k's predecessors.
+struct LevelSchedule {
+  std::vector<index_t> level;      ///< per column
+  std::vector<index_t> level_ptr;  ///< size num_levels+1 into level_cols
+  std::vector<index_t> level_cols; ///< columns grouped by level
+  index_t num_levels() const {
+    return static_cast<index_t>(level_ptr.empty() ? 0 : level_ptr.size() - 1);
+  }
+  index_t level_width(index_t l) const {
+    return level_ptr[l + 1] - level_ptr[l];
+  }
+};
+
+/// Sequential Kahn's algorithm on the host — the levelization previous
+/// work runs on the CPU, and the correctness reference.
+LevelSchedule levelize_sequential(const DependencyGraph& g);
+
+/// GPU Kahn with host-driven kernels: each iteration launches update /
+/// cons_queue from the host and synchronizes to read the queue size (the
+/// prior-work GPU topological sort of [37]).
+LevelSchedule levelize_gpu_host_launched(gpusim::Device& device,
+                                         const DependencyGraph& g);
+
+/// GPU Kahn with dynamic parallelism (Algorithm 5): one host launch; the
+/// parent kernel spawns cons_queue/update child kernels on-device, so no
+/// host round-trips and child-launch overhead only.
+LevelSchedule levelize_gpu_dynamic(gpusim::Device& device,
+                                   const DependencyGraph& g);
+
+/// Validates a schedule: every column assigned, every edge goes to a
+/// strictly later level, levels partition [0,n). Throws on violation.
+void validate_schedule(const DependencyGraph& g, const LevelSchedule& s);
+
+/// GLU3.0's level taxonomy (§2.2): type A levels have many independent
+/// columns with few sub-columns each (block per column); type C levels
+/// are the narrow late levels with many sub-columns (block per
+/// sub-column, kernel per column); type B is the wide-and-heavy middle.
+enum class LevelType { A, B, C };
+
+/// Classifies one level from its width and mean sub-column count.
+LevelType classify_level(index_t width, double avg_sub_columns);
+
+}  // namespace e2elu::scheduling

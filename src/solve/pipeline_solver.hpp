@@ -1,0 +1,68 @@
+// PipelineSolver: repeated GPU solves against a SparseLU factorization.
+//
+// SparseLU::solve() is a host-side convenience; applications like circuit
+// transient simulation solve thousands of right-hand sides per
+// factorization and want those on the device too. PipelineSolver wraps
+// the level-scheduled triangular solvers with the factorization's row and
+// column permutations, so `solve(b)` answers the *original* system
+// A x = b.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/sparse_lu.hpp"
+#include "solve/triangular.hpp"
+
+namespace e2elu::solve {
+
+class PipelineSolver {
+ public:
+  /// Prepares level schedules for both factors on `device`. The
+  /// FactorResult must outlive the solver.
+  PipelineSolver(gpusim::Device& device, const FactorResult& factorization)
+      : factorization_(&factorization),
+        lu_(device, factorization.l, factorization.u) {}
+
+  /// Solves A x = b on the device (two level-parallel triangular sweeps).
+  std::vector<value_t> solve(std::span<const value_t> b) const {
+    const FactorResult& f = *factorization_;
+    E2ELU_CHECK(b.size() == static_cast<std::size_t>(f.n));
+    std::vector<value_t> c(static_cast<std::size_t>(f.n));
+    for (index_t i = 0; i < f.n; ++i) c[i] = b[f.row_perm[i]];
+    const std::vector<value_t> y = lu_.solve(c);
+    std::vector<value_t> x(static_cast<std::size_t>(f.n));
+    for (index_t j = 0; j < f.n; ++j) x[f.col_perm[j]] = y[j];
+    return x;
+  }
+
+  /// Solves with iterative refinement against the original matrix.
+  std::vector<value_t> solve_refined(const Csr& a,
+                                     std::span<const value_t> b,
+                                     int max_iters = 3) const {
+    std::vector<value_t> x = solve(b);
+    std::vector<value_t> r(static_cast<std::size_t>(a.n));
+    for (int iter = 0; iter < max_iters; ++iter) {
+      for (index_t i = 0; i < a.n; ++i) {
+        value_t acc = b[i];
+        const auto cols = a.row_cols(i);
+        const auto vals = a.row_vals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          acc -= vals[k] * x[cols[k]];
+        }
+        r[i] = acc;
+      }
+      const std::vector<value_t> dx = solve(r);
+      for (index_t i = 0; i < a.n; ++i) x[i] += dx[i];
+    }
+    return x;
+  }
+
+  const LuSolver& lu() const { return lu_; }
+
+ private:
+  const FactorResult* factorization_;
+  LuSolver lu_;
+};
+
+}  // namespace e2elu::solve

@@ -1,0 +1,76 @@
+// Level-scheduled sparse triangular solves on the simulated device, plus
+// iterative refinement.
+//
+// The paper's pipeline ends at numeric factorization, but its premise —
+// "a complete sparse LU factorization workflow on a GPU" — implies the
+// consumer: solving L y = b and U x = y for each right-hand side of the
+// application (circuit simulators solve thousands of times per
+// factorization). Triangular solves carry the same row-dependency
+// structure the paper levelizes for numeric factorization, so the same
+// GPU Kahn machinery schedules them: rows within a level are independent
+// and solve in parallel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "matrix/csr.hpp"
+#include "scheduling/levelize.hpp"
+
+namespace e2elu::solve {
+
+/// A triangular factor prepared for repeated level-parallel solves: the
+/// per-row levels are computed once (on the device, via the Algorithm 5
+/// levelizer) and reused for every right-hand side.
+class TriangularSolver {
+ public:
+  /// `lower` selects forward substitution (unit diagonal assumed stored,
+  /// as produced by extract_lu) vs backward substitution with an explicit
+  /// diagonal.
+  TriangularSolver(gpusim::Device& device, const Csr& factor, bool lower);
+
+  /// Solves in place: x holds b on entry, the solution on return.
+  void solve(std::vector<value_t>& x) const;
+
+  index_t num_levels() const { return schedule_.num_levels(); }
+  /// Work items performed by this solver's kernels, summed over all
+  /// solve() calls.
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  gpusim::Device* device_;
+  const Csr* factor_;
+  bool lower_;
+  scheduling::LevelSchedule schedule_;
+  std::vector<offset_t> diag_pos_;  ///< position of (i,i) in each row
+  mutable std::uint64_t ops_ = 0;
+  double warp_eff_ = 1.0;
+};
+
+/// One factorization, many solves: wraps both factors.
+class LuSolver {
+ public:
+  LuSolver(gpusim::Device& device, const Csr& l, const Csr& u);
+
+  /// Solves L U x = b.
+  std::vector<value_t> solve(std::span<const value_t> b) const;
+
+  const TriangularSolver& lower() const { return lower_; }
+  const TriangularSolver& upper() const { return upper_; }
+
+ private:
+  TriangularSolver lower_;
+  TriangularSolver upper_;
+};
+
+/// Iterative refinement: improves x for A x = b using the (possibly
+/// lower-accuracy) factorization-based solver. Returns the relative
+/// residual history, one entry per iteration (including the initial
+/// solve). Stops early below `tol`.
+std::vector<double> refine(const Csr& a, const LuSolver& solver,
+                           std::span<const value_t> b,
+                           std::vector<value_t>& x, int max_iters = 5,
+                           double tol = 1e-14);
+
+}  // namespace e2elu::solve

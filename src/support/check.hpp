@@ -1,0 +1,50 @@
+// Error-handling primitives for the e2elu library.
+//
+// The library reports unrecoverable misuse (bad input shapes, out-of-range
+// indices) by throwing e2elu::Error, and internal invariant violations via
+// E2ELU_CHECK which also throws so tests can assert on failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace e2elu {
+
+/// Exception type for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "E2ELU_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace e2elu
+
+/// Checks a condition that must hold for the library to be in a valid state.
+/// Unlike assert(), stays on in release builds: the cost is negligible next
+/// to the sparse kernels, and silent corruption of a factorization is worse
+/// than an exception.
+#define E2ELU_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::e2elu::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define E2ELU_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::e2elu::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                    os_.str());                        \
+    }                                                                  \
+  } while (0)

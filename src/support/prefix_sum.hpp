@@ -1,0 +1,69 @@
+// Prefix sums (scans).
+//
+// Algorithm 3 of the paper runs a GPU prefix sum over the per-row fill
+// counts to derive CSR row offsets and the total fill-in. The gpusim
+// kernels call the block-parallel variant; host-side code uses the
+// sequential one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace e2elu {
+
+/// Exclusive scan: out[i] = sum of in[0..i-1]; returns the grand total.
+/// `out` may alias `in`.
+template <typename T>
+T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  T running{0};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const T v = in[i];
+    out[i] = running;
+    running += v;
+  }
+  return running;
+}
+
+/// Two-pass parallel exclusive scan over the global thread pool:
+/// per-range partial sums, a sequential scan of the partials, then a
+/// parallel fix-up. Deterministic regardless of thread count.
+template <typename T>
+T parallel_exclusive_scan(std::vector<T>& data) {
+  const std::size_t n = data.size();
+  if (n == 0) return T{0};
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t num_ranges = pool.num_threads();
+  const std::size_t range_len = (n + num_ranges - 1) / num_ranges;
+
+  std::vector<T> partial(num_ranges, T{0});
+  pool.parallel_for(num_ranges, [&](std::size_t r) {
+    const std::size_t begin = r * range_len;
+    const std::size_t end = std::min(begin + range_len, n);
+    T running{0};
+    for (std::size_t i = begin; i < end; ++i) {
+      const T v = data[i];
+      data[i] = running;
+      running += v;
+    }
+    partial[r] = running;
+  });
+
+  T total{0};
+  for (std::size_t r = 0; r < num_ranges; ++r) {
+    const T v = partial[r];
+    partial[r] = total;
+    total += v;
+  }
+
+  pool.parallel_for(num_ranges, [&](std::size_t r) {
+    const std::size_t begin = r * range_len;
+    const std::size_t end = std::min(begin + range_len, n);
+    for (std::size_t i = begin; i < end; ++i) data[i] += partial[r];
+  });
+  return total;
+}
+
+}  // namespace e2elu

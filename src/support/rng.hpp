@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic workloads in this repository must be reproducible from a
+// seed alone, so we carry our own small generator instead of depending on
+// the (implementation-defined) distributions in <random>.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace e2elu {
+
+/// SplitMix64: tiny, fast, and passes BigCrush for the bits we use.
+/// Deterministic across platforms, unlike std:: distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    E2ELU_CHECK(bound > 0);
+    // Rejection-free modulo is fine here: bias is < 2^-40 for our bounds.
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace e2elu

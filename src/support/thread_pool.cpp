@@ -1,0 +1,114 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace e2elu {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every parallel_for, so we spawn one
+  // fewer worker than the requested width.
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(Task& task, std::size_t worker_id) {
+  for (;;) {
+    const std::size_t begin =
+        task.next.fetch_add(task.chunk, std::memory_order_relaxed);
+    if (begin >= task.count) break;
+    const std::size_t end = std::min(begin + task.chunk, task.count);
+    (*task.body)(begin, end, worker_id);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      task = current_;
+      seen_generation = generation_;
+    }
+    run_task(*task, worker_id);
+    if (task->remaining_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    fn(0, count, 0);
+    return;
+  }
+  Task task;
+  task.body = &fn;
+  task.count = count;
+  // ~8 chunks per worker balances load without excessive atomics traffic.
+  task.chunk = std::max<std::size_t>(1, count / (num_threads() * 8));
+  task.remaining_workers.store(workers_.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_task(task, 0);  // The calling thread works too.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return task.remaining_workers.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_ranges(
+      count, [&fn](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("E2ELU_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(count, fn);
+}
+
+}  // namespace e2elu

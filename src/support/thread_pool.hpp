@@ -1,0 +1,78 @@
+// A small work-sharing thread pool.
+//
+// This is the execution substrate for both the "modified GLU3.0" CPU
+// baseline (which the paper runs on a 28-hyperthread Xeon) and for the
+// gpusim kernel launcher, which maps simulated thread blocks onto pool
+// workers. The pool supports blocking parallel-for with static chunking,
+// which is all the sparse kernels need: they are embarrassingly parallel
+// across rows / columns / blocks within a phase, with barriers between
+// phases.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace e2elu {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. 0 means
+  /// hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, count), distributing contiguous index
+  /// ranges across workers, and blocks until every call has returned.
+  /// fn must be safe to invoke concurrently from different threads.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(begin, end, worker_id) once per contiguous sub-range, with
+  /// worker_id in [0, num_threads()). Useful when the body wants
+  /// per-worker accumulators.
+  void parallel_for_ranges(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// The process-wide pool used by default. Size is taken from the
+  /// E2ELU_THREADS environment variable if set, else hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    // Range task: each worker repeatedly grabs a chunk of [0, count).
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining_workers{0};
+  };
+
+  void worker_loop(std::size_t worker_id);
+  void run_task(Task& task, std::size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace e2elu

@@ -1,0 +1,29 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace e2elu {
+
+/// Monotonic wall-clock timer. Construction starts the clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace e2elu

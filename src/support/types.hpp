@@ -1,0 +1,21 @@
+// Fundamental scalar types used throughout the library.
+#pragma once
+
+#include <cstdint>
+
+namespace e2elu {
+
+/// Row/column index type. 32-bit signed, matching the GLU/GSOFA codebases
+/// this reproduction follows; matrices beyond 2^31 rows are out of scope.
+using index_t = std::int32_t;
+
+/// Offset type for CSR/CSC offset arrays: fill-in can push nnz past 2^31
+/// even when n fits comfortably in index_t.
+using offset_t = std::int64_t;
+
+/// Numeric value type. The paper evaluates with float; we default to double
+/// for test robustness and expose the element size to the memory model via
+/// gpusim::DeviceSpec so the paper's capacity arithmetic is preserved.
+using value_t = double;
+
+}  // namespace e2elu

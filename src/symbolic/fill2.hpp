@@ -1,0 +1,136 @@
+// The fill2 per-row traversal (Algorithm 1 of the paper; Rose-Tarjan
+// Theorem 1): the filled row `src` of As = L+U contains column j iff
+// A(src,j) != 0 or there is a path src -> ... -> j in G(A) whose
+// intermediate vertices are all smaller than both src and j.
+//
+// The traversal is written once, templated over a Workspace supplying the
+// per-row scratch arrays, so the identical algorithm runs against
+//   * plain device memory slices (out-of-core drivers, CPU baseline), and
+//   * UnifiedBuffer slices (unified-memory drivers), where every scratch
+//     access can page-fault — which is precisely the effect Figures 5/6
+//     and Table 3 measure.
+//
+// Workspace concept (all accessors return references so unified memory
+// can interpose fault accounting):
+//   index_t& fill(std::size_t i);       // visit-stamp array, size n
+//   index_t& queue(int which, std::size_t i); // two frontier queues
+//   std::size_t queue_capacity() const;
+//   std::uint64_t& bitmap(std::size_t word);  // marked-below-src bitmap
+//
+// Scratch contract: fill() must be initialised to a value that can never
+// equal a row id (e.g. -1) before the first row that uses the slice; the
+// bitmap is cleared by fill2_row itself on entry.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "matrix/csr.hpp"
+
+namespace e2elu::symbolic {
+
+/// Per-row outcome of the traversal.
+struct RowStats {
+  index_t fill_count = 0;    ///< row length in As (originals + fill-ins)
+  index_t max_frontier = 0;  ///< peak frontier queue size (Figure 3's y-axis)
+  std::uint64_t ops = 0;     ///< work items: edge visits + word scans
+  bool overflow = false;     ///< frontier exceeded queue_capacity()
+};
+
+/// Number of index_t slots of scratch one source row needs with
+/// full-length queues: fill(n) + two queues(n each). The paper's
+/// "c * n" with c folding in the bitmap as well.
+inline std::size_t scratch_ints_per_row(index_t n) {
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  return 3 * static_cast<std::size_t>(n) + 2 * words;  // bitmap as 2 ints/word
+}
+inline std::size_t scratch_bytes_per_row(index_t n) {
+  return scratch_ints_per_row(n) * sizeof(index_t);
+}
+
+/// Runs Algorithm 1 for row `src`. Calls emit(col) once for every column
+/// of the filled row (original entries and fill-ins, unsorted). Pass a
+/// no-op emit for the counting stage (symbolic_1); the count in RowStats
+/// is always maintained. Returns overflow=true (and stops early) if a
+/// frontier outgrows ws.queue_capacity() — the dynamic-parallelism-
+/// assignment driver uses bounded queues for its cheap first partition
+/// and reprocesses overflowing rows with full-size scratch.
+template <typename Workspace, typename Emit>
+RowStats fill2_row(const Csr& a, index_t src, Workspace& ws, Emit&& emit) {
+  RowStats stats;
+  const std::size_t words = (static_cast<std::size_t>(src) + 64) / 64;
+
+  for (std::size_t w = 0; w < words; ++w) ws.bitmap(w) = 0;
+  stats.ops += words;
+
+  auto mark_below_src = [&](index_t v) {
+    ws.bitmap(static_cast<std::size_t>(v) / 64) |= std::uint64_t{1}
+                                                   << (v % 64);
+  };
+
+  // Lines 1-10: seed with the original entries of row src.
+  ws.fill(src) = src;
+  for (index_t v : a.row_cols(src)) {
+    ws.fill(v) = src;
+    emit(v);
+    ++stats.fill_count;
+    if (v < src) mark_below_src(v);
+    ++stats.ops;
+  }
+
+  const std::size_t cap = ws.queue_capacity();
+
+  // Lines 11-27: ascending threshold scan over marked vertices < src.
+  // Vertices marked during a BFS land in the bitmap and are picked up
+  // when the scan reaches their bit; bits at or below the current
+  // threshold are intentionally skipped (see DESIGN.md correctness notes).
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t word = ws.bitmap(w);
+    ++stats.ops;
+    while (word != 0) {
+      const index_t threshold =
+          static_cast<index_t>(w * 64 + std::countr_zero(word));
+      // Breadth-first search from `threshold` through vertices smaller
+      // than it; neighbors above it are fill-ins of row src.
+      int cur = 0;
+      std::size_t qsize = 1;
+      ws.queue(cur, 0) = threshold;
+      while (qsize > 0) {
+        std::size_t next_size = 0;
+        for (std::size_t qi = 0; qi < qsize; ++qi) {
+          const index_t frontier = ws.queue(cur, qi);
+          for (index_t nb : a.row_cols(frontier)) {
+            ++stats.ops;
+            if (ws.fill(nb) == src) continue;
+            ws.fill(nb) = src;
+            if (nb > threshold) {
+              emit(nb);
+              ++stats.fill_count;
+              if (nb < src) mark_below_src(nb);
+            } else {
+              if (next_size >= cap) {
+                stats.overflow = true;
+                return stats;
+              }
+              ws.queue(1 - cur, next_size++) = nb;
+            }
+          }
+        }
+        cur = 1 - cur;
+        qsize = next_size;
+        stats.max_frontier =
+            std::max(stats.max_frontier, static_cast<index_t>(qsize));
+      }
+      // Bits <= threshold are done; the BFS may have set new ones above.
+      const int bit = threshold % 64;
+      const std::uint64_t processed_mask =
+          bit == 63 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << (bit + 1)) - 1);
+      word = ws.bitmap(w) & ~processed_mask;
+      ++stats.ops;
+    }
+  }
+  return stats;
+}
+
+}  // namespace e2elu::symbolic

@@ -1,0 +1,306 @@
+// Out-of-core GPU symbolic factorization: Algorithm 3 (fixed chunks) and
+// Algorithm 4 (dynamic parallelism assignment).
+//
+// Both drivers run the two-stage scheme: symbolic_1 counts each row's
+// fill, a device prefix sum sizes the CSR arrays, symbolic_2 writes the
+// positions. Rows are processed in chunks sized so that the per-row O(n)
+// traversal scratch fits in device memory:
+//     chunk_size = free_device_bytes / scratch_bytes_per_row(n).
+// Algorithm 4 additionally partitions rows at the point n1 where the
+// frontier first becomes "large" (>= 50% of the peak); rows below n1 use
+// queues bounded by the observed frontier (a much smaller footprint), so
+// their chunks — and with them the number of concurrently resident
+// thread blocks — are larger.
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+
+#include "gpusim/device_buffer.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+#include "symbolic/fill2.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/workspace.hpp"
+
+namespace e2elu::symbolic {
+
+namespace {
+
+double warp_eff_for(const gpusim::Device& dev, const Csr& a) {
+  return dev.spec().simt_efficiency(a.nnz_per_row());
+}
+
+/// Sorting cost model for the symbolic_2 emit buffers: f * ceil(log2 f).
+std::uint64_t sort_ops(std::size_t len) {
+  if (len < 2) return len;
+  return static_cast<std::uint64_t>(len) *
+         static_cast<std::uint64_t>(std::bit_width(len - 1));
+}
+
+struct PassResult {
+  index_t chunk_rows = 0;
+  index_t num_chunks = 0;
+};
+
+/// Runs one chunked kernel pass over `rows` with queue capacity `qcap`.
+/// `body(row, ws, ctx)` returns true if the row overflowed its bounded
+/// queues; such rows are appended to *overflow for reprocessing (must be
+/// non-null whenever qcap < n).
+PassResult chunked_pass(
+    gpusim::Device& dev, const Csr& a, std::span<const index_t> rows,
+    std::size_t qcap, double warp_eff, const char* name,
+    const std::function<bool(index_t, PlainWorkspace&,
+                             gpusim::KernelContext&)>& body,
+    std::vector<index_t>* overflow) {
+  PassResult pr;
+  if (rows.empty()) return pr;
+  const index_t n = a.n;
+  const std::size_t slots = PlainWorkspace::slots(n, qcap);
+  const std::size_t bytes_per_row = slots * sizeof(index_t);
+  const std::size_t free = dev.free_bytes();
+  E2ELU_CHECK_MSG(free >= bytes_per_row,
+                  "device cannot hold even one row's symbolic scratch ("
+                      << bytes_per_row << " bytes needed, " << free
+                      << " free)");
+  const std::size_t chunk =
+      std::min<std::size_t>(rows.size(), free / bytes_per_row);
+  gpusim::DeviceBuffer<index_t> ws_buf(dev, chunk * slots);
+  ws_buf.fill(-1);  // visit stamps: -1 never equals a row id
+
+  std::mutex overflow_mutex;
+  pr.chunk_rows = static_cast<index_t>(chunk);
+  pr.num_chunks = static_cast<index_t>((rows.size() + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < rows.size(); begin += chunk) {
+    const std::size_t count = std::min(chunk, rows.size() - begin);
+    dev.launch(
+        {.name = name,
+         .blocks = static_cast<std::int64_t>(count),
+         .threads_per_block = 256,
+         .warp_efficiency = warp_eff},
+        [&](std::int64_t b, gpusim::KernelContext& ctx) {
+          const index_t row = rows[begin + static_cast<std::size_t>(b)];
+          std::span<index_t> slice{
+              ws_buf.data() + static_cast<std::size_t>(b) * slots, slots};
+          PlainWorkspace ws = PlainWorkspace::from_slice_bounded(slice, n, qcap);
+          if (body(row, ws, ctx)) {
+            E2ELU_CHECK_MSG(overflow != nullptr,
+                            "row " << row << " overflowed a full-size queue");
+            std::lock_guard<std::mutex> lock(overflow_mutex);
+            overflow->push_back(row);
+          }
+        });
+  }
+  return pr;
+}
+
+/// Shared two-stage skeleton. `run_pass(stage_body, overflow)` is invoked
+/// once per stage and encapsulates the row partitioning strategy (fixed
+/// chunks vs Algorithm 4's two-part split).
+using StageBody = std::function<bool(index_t, PlainWorkspace&,
+                                     gpusim::KernelContext&)>;
+using PassRunner =
+    std::function<PassResult(const char*, const StageBody&)>;
+
+SymbolicResult two_stage_symbolic(gpusim::Device& dev, const Csr& a,
+                                  const PassRunner& run_pass) {
+  WallTimer timer;
+  const index_t n = a.n;
+  const std::uint64_t ops_before = dev.stats().kernel_ops;
+
+  SymbolicResult res;
+  res.fill_count.assign(n, 0);
+
+  // Stage 1 (symbolic_1): count fill per row.
+  gpusim::DeviceBuffer<index_t> d_fill_count(dev, static_cast<std::size_t>(n));
+  {
+    const PassResult pr = run_pass(
+        "symbolic_1",
+        [&](index_t row, PlainWorkspace& ws, gpusim::KernelContext& ctx) {
+          const RowStats st = fill2_row(a, row, ws, [](index_t) {});
+          if (st.overflow) return true;
+          d_fill_count[static_cast<std::size_t>(row)] = st.fill_count;
+          ctx.add_ops(st.ops);
+          return false;
+        });
+    res.chunk_rows = pr.chunk_rows;
+    res.num_chunks = pr.num_chunks;
+  }
+
+  // Device prefix sum over the counts -> row offsets (Algorithm 3 line 7).
+  res.filled.n = n;
+  res.filled.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  dev.launch({.name = "prefix_sum",
+              .blocks = (n + 255) / 256,
+              .threads_per_block = 256},
+             [&](std::int64_t b, gpusim::KernelContext& ctx) {
+               const index_t lo = static_cast<index_t>(b) * 256;
+               const index_t hi = std::min(n, lo + 256);
+               ctx.add_ops(static_cast<std::uint64_t>(hi - lo));
+             });
+  for (index_t i = 0; i < n; ++i) {
+    res.filled.row_ptr[i + 1] =
+        res.filled.row_ptr[i] + d_fill_count[static_cast<std::size_t>(i)];
+  }
+  std::copy(d_fill_count.data(), d_fill_count.data() + n,
+            res.fill_count.begin());
+
+  // Allocate the factorized pattern on the device (Algorithm 3 line 8).
+  const offset_t total = res.filled.nnz();
+  gpusim::DeviceBuffer<index_t> d_as_cols(dev, static_cast<std::size_t>(total));
+
+  // Stage 2 (symbolic_2): record positions, then sort each row segment so
+  // the CSC conversion and the numeric binary search see sorted indices.
+  run_pass("symbolic_2", [&](index_t row, PlainWorkspace& ws,
+                             gpusim::KernelContext& ctx) {
+    const offset_t seg_begin = res.filled.row_ptr[row];
+    offset_t w = seg_begin;
+    const RowStats st = fill2_row(a, row, ws, [&](index_t col) {
+      d_as_cols[static_cast<std::size_t>(w++)] = col;
+    });
+    if (st.overflow) return true;
+    E2ELU_CHECK_MSG(w == res.filled.row_ptr[row + 1],
+                    "stage-2 fill count for row "
+                        << row << " diverged from stage 1");
+    std::sort(d_as_cols.data() + seg_begin, d_as_cols.data() + w);
+    ctx.add_ops(st.ops + sort_ops(static_cast<std::size_t>(w - seg_begin)));
+    return false;
+  });
+
+  res.filled.col_idx.assign(d_as_cols.data(), d_as_cols.data() + total);
+  res.ops = dev.stats().kernel_ops - ops_before;
+  res.wall_ms = timer.millis();
+  return res;
+}
+
+}  // namespace
+
+SymbolicResult symbolic_out_of_core(gpusim::Device& dev, const Csr& a,
+                                    const SymbolicOptions& /*opt*/) {
+  // Keep the input matrix resident for the whole run (it fits: nnz-sized;
+  // it is the O(n)-per-row scratch that does not).
+  gpusim::DeviceBuffer<offset_t> d_row_ptr(dev, std::span(a.row_ptr));
+  gpusim::DeviceBuffer<index_t> d_col_idx(dev, std::span(a.col_idx));
+
+  std::vector<index_t> all_rows(static_cast<std::size_t>(a.n));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  const double warp_eff = warp_eff_for(dev, a);
+
+  return two_stage_symbolic(
+      dev, a, [&](const char* name, const StageBody& body) {
+        return chunked_pass(dev, a, all_rows, static_cast<std::size_t>(a.n),
+                            warp_eff, name, body, nullptr);
+      });
+}
+
+SymbolicResult symbolic_out_of_core_dynamic(gpusim::Device& dev, const Csr& a,
+                                            const SymbolicOptions& opt) {
+  return symbolic_out_of_core_multipart(dev, a, /*parts=*/2, opt);
+}
+
+SymbolicResult symbolic_out_of_core_multipart(gpusim::Device& dev,
+                                              const Csr& a, index_t parts,
+                                              const SymbolicOptions& opt) {
+  E2ELU_CHECK_MSG(parts >= 1, "need at least one partition");
+  if (parts == 1) return symbolic_out_of_core(dev, a, opt);
+
+  const index_t n = a.n;
+  gpusim::DeviceBuffer<offset_t> d_row_ptr(dev, std::span(a.row_ptr));
+  gpusim::DeviceBuffer<index_t> d_col_idx(dev, std::span(a.col_idx));
+  const double warp_eff = warp_eff_for(dev, a);
+
+  // --- Planner: sample the frontier-growth curve (Figure 3) on device. ---
+  const index_t num_samples = std::min<index_t>(opt.planner_samples, n);
+  std::vector<index_t> sample_rows(static_cast<std::size_t>(num_samples));
+  for (index_t s = 0; s < num_samples; ++s) {
+    sample_rows[s] =
+        static_cast<index_t>((static_cast<std::int64_t>(s) + 1) * n /
+                             (num_samples + 1));
+  }
+  std::vector<index_t> sample_peak(static_cast<std::size_t>(num_samples), 0);
+  chunked_pass(dev, a, sample_rows, static_cast<std::size_t>(n), warp_eff,
+               "frontier_sample",
+               [&](index_t row, PlainWorkspace& ws,
+                   gpusim::KernelContext& ctx) {
+                 const RowStats st = fill2_row(a, row, ws, [](index_t) {});
+                 ctx.add_ops(st.ops);
+                 const auto it = std::find(sample_rows.begin(),
+                                           sample_rows.end(), row);
+                 sample_peak[it - sample_rows.begin()] = st.max_frontier;
+                 return false;
+               },
+               nullptr);
+
+  // n1 = first row where the frontier reaches the "large" fraction of the
+  // peak; rows before it form the low-footprint partitions.
+  const index_t peak =
+      num_samples == 0 ? 0
+                       : *std::max_element(sample_peak.begin(), sample_peak.end());
+  const double threshold = opt.large_frontier_fraction * peak;
+  index_t n1 = n;
+  for (index_t s = 0; s < num_samples; ++s) {
+    if (static_cast<double>(sample_peak[s]) >= threshold && peak > 0) {
+      n1 = sample_rows[s];
+      break;
+    }
+  }
+
+  // Subdivide [0, n1) into parts-1 ranges; each range's queue bound comes
+  // from the frontier peak its samples saw (a margin covers sampling
+  // error; the rare row that still overflows migrates to the full-size
+  // tail partition).
+  struct Range {
+    index_t begin, end;
+    std::size_t qbound;
+  };
+  std::vector<Range> ranges;
+  const index_t bounded_parts = parts - 1;
+  for (index_t pidx = 0; pidx < bounded_parts; ++pidx) {
+    Range r;
+    r.begin = static_cast<index_t>(static_cast<std::int64_t>(n1) * pidx /
+                                   bounded_parts);
+    r.end = static_cast<index_t>(static_cast<std::int64_t>(n1) * (pidx + 1) /
+                                 bounded_parts);
+    index_t range_peak = 0;
+    for (index_t s = 0; s < num_samples; ++s) {
+      if (sample_rows[s] >= r.begin && sample_rows[s] < r.end) {
+        range_peak = std::max(range_peak, sample_peak[s]);
+      }
+    }
+    r.qbound = std::min<std::size_t>(
+        static_cast<std::size_t>(n),
+        std::max<std::size_t>(
+            64, static_cast<std::size_t>(opt.queue_bound_margin *
+                                         (range_peak + 1))));
+    if (r.begin < r.end) ranges.push_back(r);
+  }
+
+  std::vector<index_t> tail(static_cast<std::size_t>(n - n1));
+  std::iota(tail.begin(), tail.end(), n1);
+
+  SymbolicResult res = two_stage_symbolic(
+      dev, a, [&](const char* name, const StageBody& body) {
+        PassResult total;
+        std::vector<index_t> spill = tail;
+        for (const Range& r : ranges) {
+          std::vector<index_t> rows(static_cast<std::size_t>(r.end - r.begin));
+          std::iota(rows.begin(), rows.end(), r.begin);
+          std::vector<index_t> overflow;
+          const PassResult pr = chunked_pass(dev, a, rows, r.qbound, warp_eff,
+                                             name, body, &overflow);
+          if (total.chunk_rows == 0) total.chunk_rows = pr.chunk_rows;
+          total.num_chunks += pr.num_chunks;
+          spill.insert(spill.end(), overflow.begin(), overflow.end());
+        }
+        std::sort(spill.begin(), spill.end());
+        const PassResult pr_tail =
+            chunked_pass(dev, a, spill, static_cast<std::size_t>(n), warp_eff,
+                         name, body, nullptr);
+        total.num_chunks += pr_tail.num_chunks;
+        return total;
+      });
+  return res;
+}
+
+}  // namespace e2elu::symbolic

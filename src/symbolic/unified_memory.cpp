@@ -1,0 +1,151 @@
+// Unified-memory symbolic factorization (the design alternative of
+// Figures 5/6 and Table 3).
+//
+// Instead of chunking, the full O(n^2) scratch is allocated as managed
+// memory and *every* source row is launched at once — unified memory's
+// appeal is exactly that the capacity wall disappears from the code. The
+// cost, which this driver measures rather than assumes, is the page-fault
+// traffic of irregular scratch accesses. The prefetching variant stages
+// each row's fill-stamp region (the bulk, predictably-touched part of the
+// slice) ahead of the traversal; the dynamically growing frontier queues
+// cannot be usefully prefetched and keep faulting, which is why prefetch
+// reduces but does not eliminate the fault overhead — matching Table 3.
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "gpusim/device_buffer.hpp"
+#include "gpusim/unified_buffer.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+#include "symbolic/fill2.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/workspace.hpp"
+
+namespace e2elu::symbolic {
+
+namespace {
+
+/// Host-memory guard: like the paper (whose unified-memory runs are
+/// limited by the 128 GB host), refuse scratch allocations beyond a
+/// budget. Override with E2ELU_UM_HOST_BYTES.
+std::size_t um_host_budget() {
+  if (const char* env = std::getenv("E2ELU_UM_HOST_BYTES")) {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 2ull << 30;
+}
+
+}  // namespace
+
+SymbolicResult symbolic_unified_memory(gpusim::Device& dev, const Csr& a,
+                                       bool prefetch,
+                                       const SymbolicOptions& /*opt*/) {
+  WallTimer timer;
+  const index_t n = a.n;
+  const std::uint64_t ops_before = dev.stats().kernel_ops;
+  const double warp_eff = dev.spec().simt_efficiency(a.nnz_per_row());
+
+  const std::size_t slots = UnifiedWorkspace::slots(n);
+  const std::size_t total_slots = static_cast<std::size_t>(n) * slots;
+  E2ELU_CHECK_MSG(
+      total_slots * sizeof(index_t) <= um_host_budget(),
+      "unified-memory scratch (" << total_slots * sizeof(index_t)
+          << " bytes) exceeds the host-memory budget — the same wall the "
+             "paper hits for matrices beyond ~41k rows");
+
+  // The input matrix itself is device-resident (nnz-sized, it fits);
+  // only the quadratic scratch is managed.
+  gpusim::DeviceBuffer<offset_t> d_row_ptr(dev, std::span(a.row_ptr));
+  gpusim::DeviceBuffer<index_t> d_col_idx(dev, std::span(a.col_idx));
+  gpusim::DeviceBuffer<index_t> d_fill_count(dev, static_cast<std::size_t>(n));
+  gpusim::UnifiedBuffer<index_t> scratch(dev, total_slots);
+
+  SymbolicResult res;
+  res.fill_count.assign(n, 0);
+  res.filled.n = n;
+  res.chunk_rows = n;  // no chunking: all rows in one launch
+  res.num_chunks = 1;
+
+  auto run_stage = [&](const char* name, auto&& per_row) {
+    dev.launch(
+        {.name = name,
+         .blocks = n,
+         .threads_per_block = 256,
+         .warp_efficiency = warp_eff},
+        [&](std::int64_t b, gpusim::KernelContext& ctx) {
+          const index_t row = static_cast<index_t>(b);
+          gpusim::UnifiedBuffer<index_t>::Stream stream;
+          UnifiedWorkspace ws{&scratch, &stream,
+                              static_cast<std::size_t>(b) * slots, n};
+          if (prefetch) {
+            // cudaMemPrefetchAsync of the predictably-touched scratch: the
+            // fill stamps and the first frontier queue. The second queue
+            // is the producer side of a double buffer filled by the
+            // traversal itself (and the bitmap tail is scattered into
+            // data-dependently), so that traffic keeps demand-faulting —
+            // which is why, as in Table 3, prefetching shrinks but does
+            // not eliminate the fault-service time.
+            scratch.prefetch(ws.base, 2 * static_cast<std::size_t>(n));
+          }
+          // First-touch initialisation of the visit stamps. Charged at
+          // memset rate (16 elements per op).
+          for (index_t i = 0; i < n; ++i) ws.fill(i) = -1;
+          ctx.add_ops(static_cast<std::uint64_t>(n) / 16 + 1);
+          per_row(row, ws, ctx);
+        });
+  };
+
+  // Stage 1: counts.
+  run_stage("symbolic_1_um", [&](index_t row, UnifiedWorkspace& ws,
+                                 gpusim::KernelContext& ctx) {
+    const RowStats st = fill2_row(a, row, ws, [](index_t) {});
+    E2ELU_CHECK(!st.overflow);
+    d_fill_count[static_cast<std::size_t>(row)] = st.fill_count;
+    ctx.add_ops(st.ops);
+  });
+
+  dev.launch({.name = "prefix_sum",
+              .blocks = (n + 255) / 256,
+              .threads_per_block = 256},
+             [&](std::int64_t b, gpusim::KernelContext& ctx) {
+               const index_t lo = static_cast<index_t>(b) * 256;
+               ctx.add_ops(static_cast<std::uint64_t>(std::min(n, lo + 256) - lo));
+             });
+  res.filled.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    res.filled.row_ptr[i + 1] =
+        res.filled.row_ptr[i] + d_fill_count[static_cast<std::size_t>(i)];
+    res.fill_count[i] = d_fill_count[static_cast<std::size_t>(i)];
+  }
+
+  gpusim::DeviceBuffer<index_t> d_as_cols(
+      dev, static_cast<std::size_t>(res.filled.nnz()));
+
+  // Stage 2: positions.
+  run_stage("symbolic_2_um", [&](index_t row, UnifiedWorkspace& ws,
+                                 gpusim::KernelContext& ctx) {
+    const offset_t seg_begin = res.filled.row_ptr[row];
+    offset_t w = seg_begin;
+    const RowStats st = fill2_row(a, row, ws, [&](index_t col) {
+      d_as_cols[static_cast<std::size_t>(w++)] = col;
+    });
+    E2ELU_CHECK(!st.overflow);
+    E2ELU_CHECK(w == res.filled.row_ptr[row + 1]);
+    std::sort(d_as_cols.data() + seg_begin, d_as_cols.data() + w);
+    const std::size_t len = static_cast<std::size_t>(w - seg_begin);
+    ctx.add_ops(st.ops +
+                (len < 2 ? len
+                         : len * static_cast<std::size_t>(
+                                     std::bit_width(len - 1))));
+  });
+
+  res.filled.col_idx.assign(d_as_cols.data(),
+                            d_as_cols.data() + res.filled.nnz());
+  res.ops = dev.stats().kernel_ops - ops_before;
+  res.wall_ms = timer.millis();
+  return res;
+}
+
+}  // namespace e2elu::symbolic

@@ -1,0 +1,97 @@
+// Workspace bindings for fill2_row: plain memory slices and unified-memory
+// slices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/unified_buffer.hpp"
+#include "support/types.hpp"
+
+namespace e2elu::symbolic {
+
+/// Scratch views over plain (device- or host-resident) memory. Layout of
+/// one row slice, in index_t units:
+///   [0, n)        fill stamps
+///   [n, n+qcap)   queue 0
+///   [.., +qcap)   queue 1
+///   [.., +2*words) bitmap (as pairs of index_t per 64-bit word)
+struct PlainWorkspace {
+  std::span<index_t> fill_arr;
+  std::span<index_t> q0;
+  std::span<index_t> q1;
+  std::span<std::uint64_t> bm;
+
+  /// Carves a workspace out of a row slice with full-length queues.
+  static PlainWorkspace from_slice(std::span<index_t> slice, index_t n) {
+    return from_slice_bounded(slice, n, static_cast<std::size_t>(n));
+  }
+
+  /// Carves a workspace with queues bounded to `qcap` entries — the
+  /// reduced-footprint layout Algorithm 4 uses for low-frontier rows.
+  static PlainWorkspace from_slice_bounded(std::span<index_t> slice,
+                                           index_t n, std::size_t qcap) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    const std::size_t words = (un + 63) / 64;
+    PlainWorkspace ws;
+    ws.fill_arr = slice.subspan(0, un);
+    ws.q0 = slice.subspan(un, qcap);
+    ws.q1 = slice.subspan(un + qcap, qcap);
+    // Bitmap storage lives in the same slice; reinterpret the index_t
+    // tail as 64-bit words. The tail offset is padded to an even slot so
+    // the words are 8-byte aligned (slices themselves start at even
+    // offsets because slots() is even).
+    const std::size_t tail_offset = (un + 2 * qcap + 1) & ~std::size_t{1};
+    auto* tail = slice.data() + tail_offset;
+    ws.bm = {reinterpret_cast<std::uint64_t*>(tail), words};
+    return ws;
+  }
+
+  /// index_t slots needed by from_slice_bounded. Rounded to an even count
+  /// so consecutive slices keep the bitmap tail 8-byte aligned.
+  static std::size_t slots(index_t n, std::size_t qcap) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    const std::size_t words = (un + 63) / 64;
+    const std::size_t tail_offset = (un + 2 * qcap + 1) & ~std::size_t{1};
+    return tail_offset + 2 * words;  // even: both terms are even
+  }
+
+  index_t& fill(std::size_t i) { return fill_arr[i]; }
+  index_t& queue(int which, std::size_t i) { return which == 0 ? q0[i] : q1[i]; }
+  std::size_t queue_capacity() const { return q0.size(); }
+  std::uint64_t& bitmap(std::size_t w) { return bm[w]; }
+};
+
+/// Scratch views over a UnifiedBuffer<index_t>: every access goes through
+/// gpu_at(), so page faults are measured from the real access pattern of
+/// the traversal. Same slice layout as PlainWorkspace with full queues.
+struct UnifiedWorkspace {
+  gpusim::UnifiedBuffer<index_t>* buf = nullptr;
+  gpusim::UnifiedBuffer<index_t>::Stream* stream = nullptr;
+  std::size_t base = 0;  ///< slice start, in index_t units
+  index_t n = 0;
+
+  static std::size_t slots(index_t n) {
+    return PlainWorkspace::slots(n, static_cast<std::size_t>(n));
+  }
+
+  index_t& fill(std::size_t i) { return buf->gpu_at(*stream, base + i); }
+  index_t& queue(int which, std::size_t i) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    return buf->gpu_at(*stream,
+                       base + un + static_cast<std::size_t>(which) * un + i);
+  }
+  std::size_t queue_capacity() const { return static_cast<std::size_t>(n); }
+  std::uint64_t& bitmap(std::size_t w) {
+    // Each 64-bit word occupies two consecutive index_t slots; touch both
+    // so fault accounting covers the full word. Same padded tail offset
+    // as PlainWorkspace::from_slice_bounded with qcap = n.
+    const std::size_t un = static_cast<std::size_t>(n);
+    const std::size_t tail = (3 * un + 1) & ~std::size_t{1};
+    buf->gpu_at(*stream, base + tail + 2 * w + 1);
+    return *reinterpret_cast<std::uint64_t*>(
+        &buf->gpu_at(*stream, base + tail + 2 * w));
+  }
+};
+
+}  // namespace e2elu::symbolic

@@ -1,0 +1,83 @@
+// Analysis module: fill reports, schedule reports, memory planning.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "matrix/generators.hpp"
+#include "scheduling/levelize.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace e2elu::analysis {
+namespace {
+
+TEST(FillReport, GrowthAndExtremes) {
+  const Csr a = gen_banded(200, 8, 5.0, 3);
+  const Csr filled = symbolic::symbolic_rowmerge(a);
+  const FillReport r = analyze_fill(a, filled);
+  EXPECT_EQ(r.input_nnz, a.nnz());
+  EXPECT_EQ(r.filled_nnz, filled.nnz());
+  EXPECT_GE(r.growth(), 1.0);
+  EXPECT_GE(r.max_row_nnz, static_cast<index_t>(r.mean_row_nnz));
+  std::ostringstream os;
+  print(os, r);
+  EXPECT_NE(os.str().find("fill:"), std::string::npos);
+}
+
+TEST(ScheduleReport, WidthsAndTypesAddUp) {
+  const Csr a = gen_blocked_planar(2000, 10, 3.2, 4, 5);
+  const Csr filled = symbolic::symbolic_rowmerge(a);
+  const scheduling::LevelSchedule s = scheduling::levelize_sequential(
+      scheduling::build_dependency_graph(filled));
+  const ScheduleReport r =
+      analyze_schedule(filled, s, gpusim::DeviceSpec::v100());
+  EXPECT_EQ(r.num_levels, s.num_levels());
+  EXPECT_EQ(r.type_a_levels + r.type_b_levels + r.type_c_levels,
+            r.num_levels);
+  EXPECT_GE(r.max_width, static_cast<index_t>(r.mean_width));
+  EXPECT_GE(r.saturating_column_fraction, 0.0);
+  EXPECT_LE(r.saturating_column_fraction, 1.0);
+  // 200 independent blocks -> wide levels saturating a 160-block device.
+  EXPECT_GT(r.max_width, 160);
+  EXPECT_GT(r.saturating_column_fraction, 0.0);
+}
+
+TEST(MemoryPlan, ChunkArithmeticMatchesThePaper) {
+  const Csr a = gen_banded(4000, 10, 6.0, 7);
+  const Csr filled = symbolic::symbolic_rowmerge(a);
+
+  // Tiny device: out-of-core with multiple iterations.
+  gpusim::DeviceSpec small = gpusim::DeviceSpec::v100_with_memory(16u << 20);
+  const MemoryPlan ps = plan_memory(a, filled.nnz(), small);
+  EXPECT_FALSE(ps.symbolic_fits_in_core);
+  EXPECT_GT(ps.symbolic_iterations, 1);
+  EXPECT_EQ(ps.symbolic_iterations,
+            (a.n + ps.symbolic_chunk_rows - 1) / ps.symbolic_chunk_rows);
+
+  // Huge device: everything fits, single iteration.
+  gpusim::DeviceSpec big = gpusim::DeviceSpec::v100_with_memory(8ull << 30);
+  const MemoryPlan pb = plan_memory(a, filled.nnz(), big);
+  EXPECT_TRUE(pb.symbolic_fits_in_core);
+  EXPECT_EQ(pb.symbolic_iterations, 1);
+  EXPECT_FALSE(pb.use_sparse_numeric);
+
+  // The §3.4 switch: n beyond L/(TB_max*sizeof) flips to sparse numeric.
+  const MemoryPlan pcap =
+      plan_memory(a, filled.nnz(),
+                  gpusim::DeviceSpec::v100_with_memory(
+                      static_cast<std::size_t>(a.n) * sizeof(value_t) * 100));
+  EXPECT_LT(pcap.dense_column_cap, 160);
+  EXPECT_TRUE(pcap.use_sparse_numeric);
+}
+
+TEST(MemoryPlan, DegenerateDeviceReportsZeroChunk) {
+  const Csr a = gen_banded(1000, 6, 4.0, 9);
+  const MemoryPlan p =
+      plan_memory(a, a.nnz(), gpusim::DeviceSpec::v100_with_memory(1024));
+  EXPECT_EQ(p.symbolic_chunk_rows, 0);
+  EXPECT_EQ(p.symbolic_iterations, 0);
+}
+
+}  // namespace
+}  // namespace e2elu::analysis

@@ -1,0 +1,174 @@
+// End-to-end SparseLU pipeline: every mode, every numeric format, solve
+// accuracy, permutation handling, determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/sparse_lu.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "support/rng.hpp"
+
+namespace e2elu {
+namespace {
+
+std::vector<value_t> random_rhs(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = static_cast<value_t>(rng.next_double(-1.0, 1.0));
+  return b;
+}
+
+Options small_device_options(Mode mode) {
+  Options opt;
+  opt.mode = mode;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(24u << 20);
+  return opt;
+}
+
+class ModeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ModeSweep, FactorizeAndSolveAllModes) {
+  const auto [mode_i, kind] = GetParam();
+  const Mode mode = static_cast<Mode>(mode_i);
+  Csr a;
+  switch (kind) {
+    case 0: a = gen_grid2d(16, 16); break;
+    case 1: a = gen_banded(300, 8, 6.0, 51); break;
+    default: a = gen_circuit(300, 4.0, 3, 20, 52); break;
+  }
+  SparseLU lu(small_device_options(mode));
+  const FactorResult f = lu.factorize(a);
+  EXPECT_EQ(f.n, a.n);
+  EXPECT_GE(f.fill_nnz, a.nnz());
+  EXPECT_GT(f.num_levels, 0);
+  validate(f.l);
+  validate(f.u);
+
+  const std::vector<value_t> b = random_rhs(a.n, 99);
+  const std::vector<value_t> x = SparseLU::solve(f, b);
+  EXPECT_LT(SparseLU::residual(a, x, b), 1e-8)
+      << "mode=" << mode_i << " kind=" << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModeSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(SparseLU, DenseAndSparseNumericGiveTheSameFactors) {
+  const Csr a = gen_banded(350, 9, 6.0, 61);
+  Options dense_opt = small_device_options(Mode::OutOfCoreGpu);
+  dense_opt.numeric_format = NumericFormat::DenseWindow;
+  Options sparse_opt = small_device_options(Mode::OutOfCoreGpu);
+  sparse_opt.numeric_format = NumericFormat::SparseBinarySearch;
+
+  const FactorResult fd = SparseLU(dense_opt).factorize(a);
+  const FactorResult fs = SparseLU(sparse_opt).factorize(a);
+  EXPECT_FALSE(fd.used_sparse_numeric);
+  EXPECT_TRUE(fs.used_sparse_numeric);
+  ASSERT_TRUE(same_pattern(fd.l, fs.l));
+  ASSERT_TRUE(same_pattern(fd.u, fs.u));
+  for (std::size_t k = 0; k < fd.l.values.size(); ++k) {
+    EXPECT_NEAR(fd.l.values[k], fs.l.values[k], 1e-9);
+  }
+  for (std::size_t k = 0; k < fd.u.values.size(); ++k) {
+    EXPECT_NEAR(fd.u.values[k], fs.u.values[k], 1e-9);
+  }
+}
+
+TEST(SparseLU, ResultsAreDeterministic) {
+  const Csr a = gen_circuit(250, 4.0, 3, 18, 71);
+  SparseLU lu(small_device_options(Mode::OutOfCoreGpuDynamic));
+  const FactorResult f1 = lu.factorize(a);
+  const FactorResult f2 = lu.factorize(a);
+  EXPECT_EQ(f1.l.values, f2.l.values);
+  EXPECT_EQ(f1.u.values, f2.u.values);
+  EXPECT_EQ(f1.fill_nnz, f2.fill_nnz);
+}
+
+TEST(SparseLU, OrderingReducesFillOnStencils) {
+  const Csr a = gen_grid2d(20, 20);
+  Options with = small_device_options(Mode::OutOfCoreGpu);
+  with.ordering = Ordering::Rcm;
+  Options without = small_device_options(Mode::OutOfCoreGpu);
+  without.ordering = Ordering::None;
+  // A random-labeled version of the grid so "None" is actually bad.
+  Rng rng(5);
+  Permutation shuffle(static_cast<std::size_t>(a.n));
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  for (index_t i = a.n - 1; i > 0; --i) {
+    std::swap(shuffle[i], shuffle[rng.next_below(i + 1)]);
+  }
+  const Csr shuffled = permute(a, shuffle, shuffle);
+  const FactorResult f_with = SparseLU(with).factorize(shuffled);
+  const FactorResult f_without = SparseLU(without).factorize(shuffled);
+  EXPECT_LT(f_with.fill_nnz, f_without.fill_nnz);
+}
+
+TEST(SparseLU, HandlesUnsymmetricPermutedDiagonal) {
+  // A matrix whose diagonal is structurally empty until column matching.
+  Coo coo;
+  coo.n = 5;
+  for (index_t i = 0; i < 5; ++i) {
+    coo.add(i, (i + 1) % 5, 4.0);  // strong off-diagonal cycle
+    coo.add(i, (i + 2) % 5, 1.0);
+  }
+  const Csr a = coo_to_csr(coo);
+  SparseLU lu(small_device_options(Mode::OutOfCoreGpu));
+  const FactorResult f = lu.factorize(a);
+  const std::vector<value_t> b = random_rhs(5, 3);
+  const std::vector<value_t> x = SparseLU::solve(f, b);
+  EXPECT_LT(SparseLU::residual(a, x, b), 1e-10);
+}
+
+TEST(SparseLU, PatchesZeroDiagonalLikeTable4) {
+  // gen_near_planar always has a diagonal, so blank one entry manually.
+  Csr a = gen_near_planar(200, 3.5, 4, 81);
+  for (offset_t k = a.row_ptr[100]; k < a.row_ptr[101]; ++k) {
+    if (a.col_idx[k] == 100) a.values[k] = 0.0;
+  }
+  Options opt = small_device_options(Mode::OutOfCoreGpu);
+  opt.match_diagonal = false;
+  opt.ordering = Ordering::None;
+  opt.diag_patch = 1000.0;  // the paper's §4.4 trick
+  const FactorResult f = SparseLU(opt).factorize(a);
+  const std::vector<value_t> b = random_rhs(a.n, 4);
+  // Solve succeeds against the *patched* operator; just check finiteness
+  // and that factorization completed.
+  const std::vector<value_t> x = SparseLU::solve(f, b);
+  for (value_t v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SparseLU, AutoFormatFollowsThePaperRule) {
+  Options opt = small_device_options(Mode::OutOfCoreGpu);
+  // 24 MiB device, TB_max=160, sizeof(double)=8:
+  // threshold n = 24MiB/(160*8) = 19660.
+  const Csr small = gen_banded(600, 6, 4.0, 91);
+  EXPECT_FALSE(SparseLU(opt).factorize(small).used_sparse_numeric);
+  const Csr big = gen_near_planar(25'000, 3.2, 4, 92);
+  EXPECT_TRUE(SparseLU(opt).factorize(big).used_sparse_numeric);
+}
+
+TEST(TriangularSolve, LowerAndUpperReferenceCases) {
+  // L = [[1,0],[0.5,1]], U = [[2,1],[0,4]].
+  Csr l(2), u(2);
+  l.row_ptr = {0, 1, 3};
+  l.col_idx = {0, 0, 1};
+  l.values = {1.0, 0.5, 1.0};
+  u.row_ptr = {0, 2, 3};
+  u.col_idx = {0, 1, 1};
+  u.values = {2.0, 1.0, 4.0};
+  std::vector<value_t> x{2.0, 5.0};
+  lower_solve_unit(l, x);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  upper_solve(u, x);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+}
+
+}  // namespace
+}  // namespace e2elu

@@ -1,0 +1,159 @@
+// fill2 edge cases and structural properties beyond the random sweeps.
+
+#include <gtest/gtest.h>
+
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "symbolic/fill2.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/workspace.hpp"
+
+namespace e2elu::symbolic {
+namespace {
+
+SymbolicResult run(const Csr& a) { return symbolic_reference(a); }
+
+TEST(Fill2Edge, OneByOne) {
+  Coo coo;
+  coo.n = 1;
+  coo.add(0, 0, 2.0);
+  const SymbolicResult r = run(coo_to_csr(coo));
+  EXPECT_EQ(r.filled.nnz(), 1);
+  EXPECT_EQ(r.fill_count[0], 1);
+}
+
+TEST(Fill2Edge, DiagonalMatrixHasNoFill) {
+  Coo coo;
+  coo.n = 50;
+  for (index_t i = 0; i < 50; ++i) coo.add(i, i, 1.0);
+  const Csr a = coo_to_csr(coo);
+  const SymbolicResult r = run(a);
+  EXPECT_TRUE(same_pattern(a, r.filled));
+}
+
+TEST(Fill2Edge, LowerBidiagonalHasNoFill) {
+  // L-shaped input: elimination introduces nothing new.
+  Coo coo;
+  coo.n = 40;
+  for (index_t i = 0; i < 40; ++i) {
+    coo.add(i, i, 2.0);
+    if (i > 0) coo.add(i, i - 1, 1.0);
+  }
+  const Csr a = coo_to_csr(coo);
+  EXPECT_TRUE(same_pattern(a, run(a).filled));
+}
+
+TEST(Fill2Edge, ArrowheadFillsCompletely) {
+  // Dense first row+column: eliminating column 0 couples everything, so
+  // the factor is completely dense — the classic worst-case ordering.
+  Coo coo;
+  const index_t n = 24;
+  coo.n = n;
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0);
+    if (i > 0) {
+      coo.add(0, i, 1.0);
+      coo.add(i, 0, 1.0);
+    }
+  }
+  const SymbolicResult r = run(coo_to_csr(coo));
+  EXPECT_EQ(r.filled.nnz(), static_cast<offset_t>(n) * n);
+}
+
+TEST(Fill2Edge, ReversedArrowheadHasNoFill) {
+  // Same arrowhead with the hub at the LAST index: no valid intermediate
+  // vertices exist, so there is zero fill — ordering is everything.
+  Coo coo;
+  const index_t n = 24;
+  coo.n = n;
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0);
+    if (i + 1 < n) {
+      coo.add(n - 1, i, 1.0);
+      coo.add(i, n - 1, 1.0);
+    }
+  }
+  const Csr a = coo_to_csr(coo);
+  EXPECT_TRUE(same_pattern(a, run(a).filled));
+}
+
+TEST(Fill2Edge, PathGraphFillMatchesTheorem) {
+  // 0-1-2-...-k chain plus an edge (0,k): eliminating the chain in order
+  // creates fill along the way.
+  Coo coo;
+  const index_t n = 10;
+  coo.n = n;
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 2.0);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, 1.0);
+    coo.add(i + 1, i, 1.0);
+  }
+  const Csr a = coo_to_csr(coo);
+  // Tridiagonal: no fill.
+  EXPECT_TRUE(same_pattern(a, run(a).filled));
+}
+
+TEST(Fill2Edge, FilledPatternIsIdempotent) {
+  // Factorizing the filled pattern produces no further fill (closure).
+  const Csr a = gen_circuit(300, 4.0, 3, 24, 15);
+  Csr filled = run(a).filled;
+  filled.values.assign(static_cast<std::size_t>(filled.nnz()), 1.0);
+  const Csr twice = run(filled).filled;
+  EXPECT_TRUE(same_pattern(filled, twice));
+}
+
+TEST(Fill2Edge, BoundedQueueOverflowIsDetected) {
+  const Csr a = gen_circuit(400, 4.0, 3, 32, 16);
+  const index_t n = a.n;
+  // Find a row with a real frontier, then give it a 1-slot queue.
+  const std::vector<index_t> prof = frontier_profile(a);
+  index_t victim = -1;
+  for (index_t i = 0; i < n; ++i) {
+    if (prof[i] > 2) victim = i;
+  }
+  ASSERT_GE(victim, 0);
+  std::vector<index_t> slice(PlainWorkspace::slots(n, 1), -1);
+  PlainWorkspace ws = PlainWorkspace::from_slice_bounded({slice}, n, 1);
+  const RowStats st = fill2_row(a, victim, ws, [](index_t) {});
+  EXPECT_TRUE(st.overflow);
+}
+
+TEST(Fill2Edge, StampReuseAcrossRowsIsSafe) {
+  // One workspace slice processing many rows back-to-back must not leak
+  // visited state between rows (the stamping invariant).
+  const Csr a = gen_banded(300, 7, 5.0, 17);
+  const SymbolicResult ref = run(a);
+  std::vector<index_t> slice(PlainWorkspace::slots(a.n, a.n), -1);
+  PlainWorkspace ws = PlainWorkspace::from_slice({slice}, a.n);
+  // Deliberately interleaved order.
+  for (index_t i = 0; i < a.n; i += 3) {
+    const RowStats st = fill2_row(a, i, ws, [](index_t) {});
+    EXPECT_EQ(st.fill_count, ref.fill_count[i]) << "row " << i;
+  }
+  for (index_t i = a.n - 1; i >= 0; i -= 3) {
+    const RowStats st = fill2_row(a, i, ws, [](index_t) {});
+    EXPECT_EQ(st.fill_count, ref.fill_count[i]) << "row " << i;
+  }
+}
+
+TEST(Fill2Edge, WorkspaceLayoutIsAligned) {
+  for (index_t n : {1, 2, 63, 64, 65, 127, 1000}) {
+    for (std::size_t qcap : {std::size_t{1}, std::size_t{7},
+                             static_cast<std::size_t>(n)}) {
+      const std::size_t slots = PlainWorkspace::slots(n, qcap);
+      EXPECT_EQ(slots % 2, 0u) << "slice size must stay 8-byte aligned";
+      std::vector<index_t> slice(slots, -1);
+      PlainWorkspace ws = PlainWorkspace::from_slice_bounded({slice}, n, qcap);
+      EXPECT_EQ(ws.queue_capacity(), qcap);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.bm.data()) % 8, 0u);
+      // Touch the extremes; ASan (in sanitizer builds) guards overruns.
+      ws.fill(static_cast<std::size_t>(n) - 1) = 1;
+      ws.queue(0, qcap - 1) = 1;
+      ws.queue(1, qcap - 1) = 1;
+      ws.bitmap((static_cast<std::size_t>(n) + 63) / 64 - 1) = 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2elu::symbolic

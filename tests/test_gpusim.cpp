@@ -1,0 +1,224 @@
+// The simulated device: allocation accounting, kernel execution and the
+// cost model, unified-memory paging, dynamic parallelism.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_buffer.hpp"
+#include "gpusim/unified_buffer.hpp"
+
+namespace e2elu::gpusim {
+namespace {
+
+DeviceSpec small_spec(std::size_t mem = 1u << 20) {
+  return DeviceSpec::v100_with_memory(mem);
+}
+
+TEST(DeviceMemory, AllocationAccountingAndRaii) {
+  Device dev(small_spec());
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  {
+    DeviceBuffer<double> a(dev, 1000);
+    EXPECT_EQ(dev.allocated_bytes(), 8000u);
+    DeviceBuffer<int> b(dev, 10);
+    EXPECT_EQ(dev.allocated_bytes(), 8040u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceMemory, OutOfMemoryThrowsAndRollsBack) {
+  Device dev(small_spec(1024));
+  DeviceBuffer<char> half(dev, 600);
+  EXPECT_THROW(DeviceBuffer<char>(dev, 600), OutOfDeviceMemory);
+  EXPECT_EQ(dev.allocated_bytes(), 600u);  // failed alloc left no residue
+  DeviceBuffer<char> rest(dev, 424);       // exactly fits
+  EXPECT_EQ(dev.free_bytes(), 0u);
+}
+
+TEST(DeviceMemory, MoveTransfersOwnership) {
+  Device dev(small_spec());
+  DeviceBuffer<int> a(dev, 100);
+  RawDeviceAllocation raw(dev, 64);
+  RawDeviceAllocation moved(std::move(raw));
+  EXPECT_EQ(moved.bytes(), 64u);
+  EXPECT_EQ(dev.allocated_bytes(), 464u);
+}
+
+TEST(Kernel, ExecutesEveryBlockAndCountsOps) {
+  Device dev(small_spec());
+  std::vector<std::atomic<int>> hits(257);
+  dev.launch({.name = "t", .blocks = 257, .threads_per_block = 128},
+             [&](std::int64_t b, KernelContext& ctx) {
+               hits[b].fetch_add(1, std::memory_order_relaxed);
+               ctx.add_ops(3);
+             });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(dev.stats().kernel_ops, 257u * 3);
+  EXPECT_EQ(dev.stats().host_launches, 1u);
+}
+
+TEST(Kernel, LaunchOverheadChargedEvenForEmptyGrid) {
+  Device dev(small_spec());
+  dev.launch({.name = "empty", .blocks = 0}, [](std::int64_t, KernelContext&) {
+    FAIL() << "body must not run for an empty grid";
+  });
+  EXPECT_EQ(dev.stats().host_launches, 1u);
+  EXPECT_DOUBLE_EQ(dev.stats().sim_launch_us, dev.spec().host_launch_us);
+}
+
+TEST(Kernel, OccupancyScalesSimulatedTime) {
+  // Same total ops at 160 blocks vs 16 blocks: the low-occupancy launch
+  // must be ~10x slower in simulated time.
+  Device dev_full(small_spec()), dev_tenth(small_spec());
+  dev_full.launch({.name = "f", .blocks = 160},
+                  [](std::int64_t, KernelContext& ctx) { ctx.add_ops(100); });
+  dev_tenth.launch({.name = "t", .blocks = 16},
+                   [](std::int64_t, KernelContext& ctx) { ctx.add_ops(1000); });
+  EXPECT_NEAR(dev_tenth.stats().sim_kernel_us / dev_full.stats().sim_kernel_us,
+              10.0, 1e-9);
+}
+
+TEST(Kernel, WarpEfficiencyScalesSimulatedTime) {
+  Device a(small_spec()), b(small_spec());
+  a.launch({.name = "x", .blocks = 160, .warp_efficiency = 1.0},
+           [](std::int64_t, KernelContext& ctx) { ctx.add_ops(64); });
+  b.launch({.name = "x", .blocks = 160, .warp_efficiency = 0.25},
+           [](std::int64_t, KernelContext& ctx) { ctx.add_ops(64); });
+  EXPECT_NEAR(b.stats().sim_kernel_us / a.stats().sim_kernel_us, 4.0, 1e-9);
+}
+
+TEST(Kernel, DynamicParallelismLaunchesAreCheaper) {
+  Device dev(small_spec());
+  dev.launch({.name = "host", .blocks = 1},
+             [](std::int64_t, KernelContext&) {});
+  const double host_cost = dev.stats().sim_launch_us;
+  dev.launch({.name = "child", .blocks = 1, .from_device = true},
+             [](std::int64_t, KernelContext&) {});
+  const double child_cost = dev.stats().sim_launch_us - host_cost;
+  EXPECT_LT(child_cost, host_cost / 4);
+  EXPECT_EQ(dev.stats().device_launches, 1u);
+}
+
+TEST(Kernel, RejectsOversizedBlocks) {
+  Device dev(small_spec());
+  EXPECT_THROW(dev.launch({.name = "bad", .blocks = 1,
+                           .threads_per_block = 2048},
+                          [](std::int64_t, KernelContext&) {}),
+               Error);
+}
+
+TEST(SimtEfficiency, MonotoneInDensityAndCapped) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  EXPECT_DOUBLE_EQ(spec.simt_efficiency(32.0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.simt_efficiency(1000.0), 1.0);
+  EXPECT_LT(spec.simt_efficiency(4.0), spec.simt_efficiency(16.0));
+  EXPECT_GT(spec.simt_efficiency(0.0), 0.0);  // floor, never zero
+}
+
+TEST(Transfers, ChargedAtPcieRate) {
+  Device dev(small_spec());
+  dev.copy_h2d(12'000'000);  // 12 MB at 12 GB/s = 1000 us
+  EXPECT_NEAR(dev.stats().sim_transfer_us, 1000.0, 1.0);
+  EXPECT_EQ(dev.stats().h2d_bytes, 12'000'000u);
+}
+
+TEST(DeviceBuffer, CopiesChargeTransfers) {
+  Device dev(small_spec());
+  std::vector<int> host(1000, 7);
+  DeviceBuffer<int> buf(dev, std::span<const int>(host));
+  EXPECT_EQ(dev.stats().h2d_bytes, 4000u);
+  std::vector<int> back(1000);
+  buf.copy_to_host(back);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(dev.stats().d2h_bytes, 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// Unified memory
+// ---------------------------------------------------------------------------
+
+TEST(UnifiedMemory, ColdTouchFaultsOncePerPage) {
+  Device dev(small_spec(1u << 22));
+  UnifiedBuffer<int> buf(dev, 4096);  // 16 KiB = 4 pages at 4 KiB
+  UnifiedBuffer<int>::Stream s;
+  for (std::size_t i = 0; i < buf.size(); ++i) buf.gpu_at(s, i) = 1;
+  EXPECT_EQ(dev.stats().page_faults, 4u);
+  // Sequential pages in one stream coalesce into a single group.
+  EXPECT_EQ(dev.stats().page_fault_groups, 1u);
+  // Re-touch: resident, no further faults.
+  for (std::size_t i = 0; i < buf.size(); ++i) buf.gpu_at(s, i) += 1;
+  EXPECT_EQ(dev.stats().page_faults, 4u);
+  EXPECT_EQ(buf.gpu_at(s, 100), 2);
+}
+
+TEST(UnifiedMemory, SeparateStreamsDoNotCoalesce) {
+  Device dev(small_spec(1u << 22));
+  UnifiedBuffer<int> buf(dev, 4096);
+  UnifiedBuffer<int>::Stream s1, s2;
+  buf.gpu_at(s1, 0);
+  buf.gpu_at(s2, 1024);  // next page, but a different block's stream
+  EXPECT_EQ(dev.stats().page_fault_groups, 2u);
+}
+
+TEST(UnifiedMemory, OversubscriptionEvictsAndRefaults) {
+  // Device budget: 16 KiB = 4 pages; buffer: 8 pages.
+  Device dev(small_spec(4 * 4096));
+  UnifiedBuffer<int> buf(dev, 8 * 1024);
+  UnifiedBuffer<int>::Stream s;
+  for (std::size_t p = 0; p < 8; ++p) buf.gpu_at(s, p * 1024);
+  EXPECT_EQ(dev.stats().page_faults, 8u);
+  EXPECT_LE(buf.resident_pages(), buf.budget_pages());
+  // Page 0 was evicted by FIFO; touching it faults again.
+  buf.gpu_at(s, 0);
+  EXPECT_EQ(dev.stats().page_faults, 9u);
+}
+
+TEST(UnifiedMemory, PrefetchPreventsFaults) {
+  Device dev(small_spec(1u << 22));
+  UnifiedBuffer<int> buf(dev, 8 * 1024);
+  UnifiedBuffer<int>::Stream s;
+  buf.prefetch(0, buf.size());
+  for (std::size_t i = 0; i < buf.size(); i += 64) buf.gpu_at(s, i);
+  EXPECT_EQ(dev.stats().page_faults, 0u);
+  EXPECT_GT(dev.stats().prefetch_bytes, 0u);
+}
+
+TEST(UnifiedMemory, EvictAllResetsResidency) {
+  Device dev(small_spec(1u << 22));
+  UnifiedBuffer<int> buf(dev, 1024);
+  UnifiedBuffer<int>::Stream s;
+  buf.gpu_at(s, 0);
+  const auto faults_before = dev.stats().page_faults;
+  buf.evict_all();
+  buf.gpu_at(s, 0);
+  EXPECT_EQ(dev.stats().page_faults, faults_before + 1);
+}
+
+TEST(UnifiedMemory, HostSpanEvictsFromDevice) {
+  Device dev(small_spec(1u << 22));
+  UnifiedBuffer<int> buf(dev, 1024);
+  UnifiedBuffer<int>::Stream s;
+  buf.gpu_at(s, 0) = 5;
+  auto host = buf.host_span();
+  EXPECT_EQ(host[0], 5);
+  EXPECT_EQ(buf.resident_pages(), 0u);
+}
+
+TEST(DeviceStats, PercentagesAreConsistent) {
+  Device dev(small_spec());
+  EXPECT_EQ(dev.stats().fault_time_pct(), 0.0);  // no time at all
+  dev.launch({.name = "w", .blocks = 160},
+             [](std::int64_t, KernelContext& ctx) { ctx.add_ops(32000); });
+  UnifiedBuffer<int> buf(dev, 1024);
+  UnifiedBuffer<int>::Stream s;
+  buf.gpu_at(s, 0);
+  const auto& st = dev.stats();
+  EXPECT_GT(st.fault_time_pct(), 0.0);
+  EXPECT_LE(st.fault_time_pct(), 100.0);
+  EXPECT_NEAR(st.sim_total_us(), st.sim_kernel_us + st.sim_launch_us +
+                                     st.sim_transfer_us + st.sim_fault_us,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace e2elu::gpusim

@@ -1,0 +1,137 @@
+// Whole-suite integration: every Table 2 stand-in (tiny divisor) runs the
+// complete pipeline in several modes and produces the same, correct
+// factors; plus scheduling-rule and IO round-trip properties that only
+// show up when modules are composed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/sparse_lu.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/suite.hpp"
+#include "symbolic/fill2.hpp"
+#include "numeric/numeric.hpp"
+#include "scheduling/levelize.hpp"
+#include "support/rng.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace e2elu {
+namespace {
+
+std::vector<value_t> rhs(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = static_cast<value_t>(rng.next_double(-1.0, 1.0));
+  return b;
+}
+
+// One test per Table 2 matrix at divisor 512 (n ~ 64-1400): the suite the
+// benchmarks run must be factorizable and solvable end-to-end.
+class SuitePipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuitePipeline, FactorizesAndSolvesInBothGpuModes) {
+  const auto suite = table2_suite(512);
+  const SuiteEntry& e = suite[static_cast<std::size_t>(GetParam())];
+  Options ooc;
+  ooc.device = gpusim::DeviceSpec::v100_with_memory(48u << 20);
+  Options dyn = ooc;
+  dyn.mode = Mode::OutOfCoreGpuDynamic;
+
+  const FactorResult f1 = SparseLU(ooc).factorize(e.matrix);
+  const FactorResult f2 = SparseLU(dyn).factorize(e.matrix);
+  EXPECT_EQ(f1.fill_nnz, f2.fill_nnz) << e.abbr;
+  EXPECT_EQ(f1.u.values, f2.u.values) << e.abbr;
+
+  const std::vector<value_t> b = rhs(e.matrix.n, 17);
+  EXPECT_LT(SparseLU::residual(e.matrix, SparseLU::solve(f1, b), b), 1e-8)
+      << e.abbr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, SuitePipeline,
+                         ::testing::Range(0, 18),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return table2_suite(512)[info.param].abbr;
+                         });
+
+TEST(DependencyRule, UOnlyEdgesWouldMisorderUnsymmetricUpdates) {
+  // Why build_dependency_graph includes the L-side (double-U) edges: with
+  // As(j,i) != 0 but As(i,j) == 0 (i < j), a U-only rule can place i and
+  // j in the same level, but column i's sub-column updates *write* row j
+  // of later columns that column j's own updates *read* — the schedule
+  // must order i before j. Construct such a case and check the shipped
+  // rule orders it while the U-only rule would not.
+  Coo coo;
+  coo.n = 4;
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 4.0);
+  coo.add(2, 0, 1.0);  // L-only coupling: column 2 depends on column 0
+  coo.add(0, 3, 1.0);  // both 0 and 2 update column 3...
+  coo.add(2, 3, 1.0);
+  const Csr a = coo_to_csr(coo);
+  const Csr filled = symbolic::symbolic_rowmerge(a);
+
+  const scheduling::DependencyGraph g =
+      scheduling::build_dependency_graph(filled);
+  const scheduling::LevelSchedule s = scheduling::levelize_sequential(g);
+  EXPECT_LT(s.level[0], s.level[2]) << "L-side dependency must be ordered";
+
+  // The U-only rule has no 0 -> 2 edge: both columns would share level 0.
+  index_t u_only_indegree_2 = 0;
+  for (index_t i = 0; i < 2; ++i) {
+    if (has_entry(filled, i, 2)) ++u_only_indegree_2;
+  }
+  EXPECT_EQ(u_only_indegree_2, 0);
+}
+
+TEST(Integration, MatrixMarketFileThroughFullPipeline) {
+  const std::string path = "/tmp/e2elu_test_roundtrip.mtx";
+  const Csr original = gen_circuit(400, 4.0, 2, 16, 23);
+  write_matrix_market_file(path, original);
+  const Csr loaded = coo_to_csr(read_matrix_market_file(path));
+  ASSERT_TRUE(same_pattern(original, loaded));
+
+  Options opt;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(32u << 20);
+  const FactorResult f = SparseLU(opt).factorize(loaded);
+  const std::vector<value_t> b = rhs(loaded.n, 29);
+  EXPECT_LT(SparseLU::residual(loaded, SparseLU::solve(f, b), b), 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, AutoFormatAndManualFormatsAgreeOnTable4Sample) {
+  // A miniature Table 4 setting: blocked-planar matrix, device sized so
+  // Auto picks the sparse format.
+  const Csr a = gen_blocked_planar(4000, 100, 3.2, 4, 31);
+  Options opt;
+  opt.ordering = Ordering::None;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(
+      static_cast<std::size_t>(120) * 4000 * sizeof(value_t));
+  const FactorResult fa = SparseLU(opt).factorize(a);
+  EXPECT_TRUE(fa.used_sparse_numeric);
+
+  Options dense = opt;
+  dense.numeric_format = NumericFormat::DenseWindow;
+  const FactorResult fd = SparseLU(dense).factorize(a);
+  EXPECT_EQ(fa.u.values, fd.u.values);
+}
+
+TEST(Integration, DeviceMemorySizingKeepsSuiteOutOfCore) {
+  // device_memory_for must produce the paper's regime at the benchmark
+  // scale (divisor 64): resident data fits, the full O(n^2) symbolic
+  // scratch does not. (The sizing reserves ~240 scratch rows, so the
+  // property is inherent only for n well beyond that.)
+  for (const SuiteEntry& e : table2_suite(64)) {
+    const Csr filled = symbolic::symbolic_rowmerge(e.matrix);
+    const std::size_t mem = device_memory_for(e.matrix, filled.nnz());
+    const std::size_t full_scratch =
+        symbolic::scratch_bytes_per_row(e.matrix.n) *
+        static_cast<std::size_t>(e.matrix.n);
+    EXPECT_LT(mem, full_scratch)
+        << e.abbr << ": device must not hold the full O(n^2) scratch";
+  }
+}
+
+}  // namespace
+}  // namespace e2elu

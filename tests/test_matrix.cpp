@@ -1,0 +1,217 @@
+// Matrix containers, conversions, Matrix Market IO, generators, suite.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/convert.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/suite.hpp"
+#include "support/rng.hpp"
+
+namespace e2elu {
+namespace {
+
+Csr random_matrix(index_t n, double density, std::uint64_t seed) {
+  return gen_banded(n, n / 2, density, seed);
+}
+
+TEST(Coo, DuplicatesAreSummedAndSorted) {
+  Coo coo;
+  coo.n = 3;
+  coo.add(0, 2, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 2, 0.5);
+  coo.add(2, 2, 1.0);
+  coo.add(1, 1, 1.0);
+  const Csr a = coo_to_csr(coo);
+  validate(a);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 0), 2.0);
+  EXPECT_FALSE(has_entry(a, 1, 0));
+}
+
+TEST(Convert, CsrCscRoundTrip) {
+  const Csr a = random_matrix(200, 8.0, 3);
+  const Csc c = csr_to_csc(a);
+  validate(c);
+  const Csr back = csc_to_csr(c);
+  EXPECT_TRUE(same_pattern(a, back));
+  EXPECT_EQ(a.values, back.values);
+}
+
+TEST(Convert, TransposeIsInvolution) {
+  const Csr a = random_matrix(150, 6.0, 5);
+  const Csr att = transpose(transpose(a));
+  EXPECT_TRUE(same_pattern(a, att));
+  EXPECT_EQ(a.values, att.values);
+}
+
+TEST(Convert, TransposeSwapsEntries) {
+  const Csr a = random_matrix(100, 5.0, 7);
+  const Csr t = transpose(a);
+  Rng rng(1);
+  for (int k = 0; k < 200; ++k) {
+    const auto i = static_cast<index_t>(rng.next_below(a.n));
+    const auto j = static_cast<index_t>(rng.next_below(a.n));
+    EXPECT_EQ(get_entry(a, i, j), get_entry(t, j, i));
+  }
+}
+
+TEST(Convert, PositionMapWalksCscInRowOrder) {
+  const Csr a = random_matrix(120, 7.0, 9);
+  const Csc c = csr_to_csc(a);
+  const std::vector<offset_t> map = csr_to_csc_position_map(a, c);
+  for (index_t i = 0; i < a.n; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      EXPECT_EQ(c.row_idx[map[k]], i);
+      EXPECT_DOUBLE_EQ(c.values[map[k]], a.values[k]);
+    }
+  }
+}
+
+TEST(Validate, RejectsBrokenStructures) {
+  Csr a(2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 5};  // out of range
+  EXPECT_THROW(validate(a), Error);
+  a.col_idx = {1, 1};
+  validate(a);  // fine
+  a.row_ptr = {0, 2, 1};  // non-monotone
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const Csr a = random_matrix(80, 6.0, 11);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const Csr back = coo_to_csr(read_matrix_market(ss));
+  ASSERT_TRUE(same_pattern(a, back));
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.values[k], back.values[k]);
+  }
+}
+
+TEST(MatrixMarket, SymmetricMirrorsEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 3 4.0\n");
+  const Csr a = coo_to_csr(read_matrix_market(ss));
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 1, 0), -1.0);
+  EXPECT_EQ(a.nnz(), 4);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const Csr a = coo_to_csr(read_matrix_market(ss));
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 0), 1.0);
+}
+
+TEST(MatrixMarket, RejectsRectangularAndMalformed) {
+  std::stringstream rect(
+      "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(rect), Error);
+  std::stringstream bad("not a matrix market file\n");
+  EXPECT_THROW(read_matrix_market(bad), Error);
+  std::stringstream trunc(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(trunc), Error);
+}
+
+class GeneratorProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorProperties, WellFormedDominantWithDiagonal) {
+  Csr a;
+  switch (GetParam()) {
+    case 0: a = gen_grid2d(13, 17); break;
+    case 1: a = gen_grid3d(5, 6, 7); break;
+    case 2: a = gen_banded(500, 10, 6.0, 1); break;
+    case 3: a = gen_circuit(500, 5.0, 3, 20, 2); break;
+    case 4: a = gen_near_planar(500, 3.5, 5, 3); break;
+    default: a = gen_blocked_planar(500, 50, 3.2, 4, 4); break;
+  }
+  validate(a);
+  EXPECT_TRUE(has_full_diagonal(a));
+  for (index_t i = 0; i < a.n; ++i) {
+    value_t diag = 0, off = 0;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      (cols[k] == i ? diag : off) += std::abs(vals[k]);
+    }
+    EXPECT_GT(diag, off) << "row " << i << " not dominant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, GeneratorProperties,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Generators, Deterministic) {
+  const Csr a = gen_circuit(300, 5.0, 2, 10, 42);
+  const Csr b = gen_circuit(300, 5.0, 2, 10, 42);
+  EXPECT_TRUE(same_pattern(a, b));
+  EXPECT_EQ(a.values, b.values);
+  const Csr c = gen_circuit(300, 5.0, 2, 10, 43);
+  EXPECT_FALSE(same_pattern(a, c));
+}
+
+TEST(Generators, BlockedPlanarHasIndependentBlocks) {
+  const index_t block = 64;
+  const Csr a = gen_blocked_planar(640, block, 3.2, 4, 9);
+  for (index_t i = 0; i < a.n; ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_EQ(i / block, j / block) << "edge crosses block boundary";
+    }
+  }
+}
+
+TEST(Suite, Table2HasPaperShape) {
+  const auto suite = table2_suite(64);
+  ASSERT_EQ(suite.size(), 18u);
+  EXPECT_EQ(suite[0].abbr, "G7");
+  EXPECT_EQ(suite[2].abbr, "PR");
+  for (const SuiteEntry& e : suite) {
+    validate(e.matrix);
+    EXPECT_TRUE(has_full_diagonal(e.matrix));
+    // Density preserved within a factor of ~2 of the paper's nnz/n.
+    const double paper_density =
+        static_cast<double>(e.paper_nnz) / e.paper_n;
+    EXPECT_GT(e.matrix.nnz_per_row(), paper_density * 0.5) << e.abbr;
+    EXPECT_LT(e.matrix.nnz_per_row(), paper_density * 2.0) << e.abbr;
+  }
+}
+
+TEST(Suite, UnifiedMemorySubsetIsThePapersSeven) {
+  const auto um = unified_memory_suite(64);
+  ASSERT_EQ(um.size(), 7u);
+  const char* expect[] = {"OT2", "R15", "BB", "MI", "GO", "OT1", "WI"};
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(um[i].abbr, expect[i]);
+}
+
+TEST(Suite, Table4CapsAreBelowTbMax) {
+  const auto t4 = table4_suite(64);
+  ASSERT_EQ(t4.size(), 4u);
+  const std::size_t mem = table4_device_memory_bytes(64);
+  for (const SuiteEntry& e : t4) {
+    const auto cap = static_cast<index_t>(
+        mem / (static_cast<std::size_t>(e.matrix.n) * sizeof(value_t)));
+    EXPECT_LT(cap, 160) << e.name;
+    EXPECT_GT(cap, 64) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace e2elu

@@ -1,0 +1,173 @@
+// Pre-processing: permutations, diagonal matching, orderings, scaling,
+// diagonal patching.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "preprocess/preprocess.hpp"
+#include "support/rng.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace e2elu {
+namespace {
+
+Permutation random_perm(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  for (index_t i = n - 1; i > 0; --i) {
+    std::swap(p[i], p[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  return p;
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation p = random_perm(100, 1);
+  EXPECT_TRUE(is_permutation(p));
+  const Permutation inv = invert_permutation(p);
+  for (index_t k = 0; k < 100; ++k) EXPECT_EQ(inv[p[k]], k);
+}
+
+TEST(Permutation, DetectsNonBijections) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 3, 1}));
+}
+
+TEST(Permute, EntriesLandWhereDefined) {
+  const Csr a = gen_banded(60, 8, 5.0, 2);
+  const Permutation pr = random_perm(60, 3);
+  const Permutation pc = random_perm(60, 4);
+  const Csr b = permute(a, pr, pc);
+  validate(b);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  Rng rng(5);
+  for (int t = 0; t < 300; ++t) {
+    const auto i = static_cast<index_t>(rng.next_below(60));
+    const auto j = static_cast<index_t>(rng.next_below(60));
+    EXPECT_EQ(get_entry(b, i, j), get_entry(a, pr[i], pc[j]));
+  }
+}
+
+TEST(Permute, IdentityIsNoop) {
+  const Csr a = gen_circuit(80, 4.0, 2, 8, 6);
+  Permutation id(80);
+  std::iota(id.begin(), id.end(), 0);
+  const Csr b = permute(a, id, id);
+  EXPECT_TRUE(same_pattern(a, b));
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(DiagonalMatching, RepairsShiftedDiagonal) {
+  // Cyclic shift: entry (i, (i+1) mod n) — no structural diagonal at all.
+  Coo coo;
+  coo.n = 40;
+  for (index_t i = 0; i < 40; ++i) {
+    coo.add(i, (i + 1) % 40, 3.0);
+    coo.add(i, (i + 7) % 40, 1.0);
+  }
+  const Csr a = coo_to_csr(coo);
+  EXPECT_FALSE(has_full_diagonal(a));
+  const Permutation q = diagonal_matching(a);
+  EXPECT_TRUE(is_permutation(q));
+  Permutation id(40);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_TRUE(has_full_diagonal(permute(a, id, q)));
+}
+
+TEST(DiagonalMatching, ThrowsOnStructuralSingularity) {
+  Coo coo;
+  coo.n = 3;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);  // rows 1 and 2 both only hit column 0
+  coo.add(2, 0, 1.0);
+  EXPECT_THROW(diagonal_matching(coo_to_csr(coo)), Error);
+}
+
+TEST(DiagonalMatching, PrefersLargeMagnitudes) {
+  // Both columns available everywhere; matching should put the big
+  // entries on the diagonal.
+  Coo coo;
+  coo.n = 2;
+  coo.add(0, 0, 10.0);
+  coo.add(0, 1, 0.1);
+  coo.add(1, 0, 0.1);
+  coo.add(1, 1, 10.0);
+  const Permutation q = diagonal_matching(coo_to_csr(coo));
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 1);
+}
+
+namespace {
+offset_t fill_after(const Csr& a, const Permutation& p) {
+  return symbolic::symbolic_rowmerge(permute(a, p, p)).nnz();
+}
+}  // namespace
+
+TEST(Ordering, RcmAndMinDegreeReduceFillOnShuffledGrid) {
+  const Csr grid = gen_grid2d(18, 18);
+  const Permutation shuffle = random_perm(grid.n, 8);
+  const Csr a = permute(grid, shuffle, shuffle);
+
+  Permutation id(a.n);
+  std::iota(id.begin(), id.end(), 0);
+  const offset_t fill_none = fill_after(a, id);
+  const offset_t fill_rcm = fill_after(a, rcm_ordering(a));
+  const offset_t fill_md = fill_after(a, min_degree_ordering(a));
+  EXPECT_LT(fill_rcm, fill_none);
+  EXPECT_LT(fill_md, fill_none);
+}
+
+TEST(Ordering, ProducesValidPermutationsOnDisconnectedGraphs) {
+  const Csr a = gen_blocked_planar(300, 30, 3.2, 4, 10);
+  EXPECT_TRUE(is_permutation(rcm_ordering(a)));
+  EXPECT_TRUE(is_permutation(min_degree_ordering(a)));
+}
+
+TEST(Equilibrate, BoundsMagnitudesByOne) {
+  Csr a = gen_banded(100, 8, 5.0, 12);
+  for (auto& v : a.values) v *= 1000.0;
+  const Scaling s = equilibrate(a);
+  for (value_t v : a.values) EXPECT_LE(std::abs(v), 1.0 + 1e-12);
+  EXPECT_EQ(s.row_scale.size(), 100u);
+  // Every row still has a non-zero max (no degenerate scaling).
+  for (index_t i = 0; i < a.n; ++i) {
+    value_t mx = 0;
+    for (value_t v : a.row_vals(i)) mx = std::max(mx, std::abs(v));
+    EXPECT_GT(mx, 0.0);
+  }
+}
+
+TEST(PatchZeroDiagonal, FixesValuesInPlace) {
+  Csr a = gen_banded(50, 5, 4.0, 13);
+  a.values[a.row_ptr[10]] = 0;  // may or may not be the diagonal
+  for (offset_t k = a.row_ptr[20]; k < a.row_ptr[21]; ++k) {
+    if (a.col_idx[k] == 20) a.values[k] = 0;
+  }
+  const index_t patched = patch_zero_diagonal(a, 1000.0);
+  EXPECT_GE(patched, 1);
+  EXPECT_DOUBLE_EQ(get_entry(a, 20, 20), 1000.0);
+}
+
+TEST(PatchZeroDiagonal, InsertsMissingStructuralDiagonal) {
+  Coo coo;
+  coo.n = 4;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 2, 1.0);  // row 1 has no diagonal
+  coo.add(2, 2, 1.0);
+  coo.add(3, 0, 1.0);  // row 3 has no diagonal
+  Csr a = coo_to_csr(coo);
+  const index_t patched = patch_zero_diagonal(a, 1000.0);
+  validate(a);
+  EXPECT_EQ(patched, 2);
+  EXPECT_TRUE(has_full_diagonal(a));
+  EXPECT_DOUBLE_EQ(get_entry(a, 1, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 3, 3), 1000.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 2, 2), 1.0);  // untouched
+}
+
+}  // namespace
+}  // namespace e2elu

@@ -1,0 +1,200 @@
+// Dependency-graph construction and the three levelization variants.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "numeric/numeric.hpp"
+#include "scheduling/levelize.hpp"
+#include "support/rng.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace e2elu::scheduling {
+namespace {
+
+DependencyGraph graph_for(const Csr& a) {
+  return build_dependency_graph(symbolic::symbolic_reference(a).filled);
+}
+
+TEST(DependencyGraph, EdgesPointForwardAndAreSorted) {
+  const Csr a = gen_circuit(500, 4.0, 3, 25, 3);
+  const DependencyGraph g = graph_for(a);
+  for (index_t i = 0; i < g.n; ++i) {
+    for (offset_t k = g.adj_ptr[i]; k < g.adj_ptr[i + 1]; ++k) {
+      EXPECT_GT(g.adj[k], i);
+      if (k > g.adj_ptr[i]) EXPECT_LT(g.adj[k - 1], g.adj[k]);
+    }
+  }
+}
+
+TEST(DependencyGraph, CoversBothTriangles) {
+  // An unsymmetric pattern: As(j,i) != 0 with As(i,j) == 0 must still
+  // produce the edge i -> j (the L-side / double-U dependency).
+  Coo coo;
+  coo.n = 3;
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 2.0);
+  coo.add(2, 2, 2.0);
+  coo.add(2, 0, 1.0);  // lower-only coupling between columns 0 and 2
+  const Csr a = coo_to_csr(coo);
+  const DependencyGraph g = graph_for(a);
+  bool found = false;
+  for (offset_t k = g.adj_ptr[0]; k < g.adj_ptr[1]; ++k) {
+    found |= (g.adj[k] == 2);
+  }
+  EXPECT_TRUE(found);
+}
+
+class LevelizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevelizeTest, AllVariantsAgreeAndAreValid) {
+  Csr a;
+  switch (GetParam()) {
+    case 0: a = gen_grid2d(18, 18); break;
+    case 1: a = gen_banded(400, 9, 5.0, 21); break;
+    case 2: a = gen_circuit(400, 4.0, 3, 25, 22); break;
+    default: a = gen_near_planar(400, 3.5, 5, 23); break;
+  }
+  const DependencyGraph g = graph_for(a);
+
+  const LevelSchedule seq = levelize_sequential(g);
+  validate_schedule(g, seq);
+
+  gpusim::Device dev_host(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const LevelSchedule host_launched = levelize_gpu_host_launched(dev_host, g);
+  validate_schedule(g, host_launched);
+  EXPECT_EQ(seq.level, host_launched.level);
+
+  gpusim::Device dev_dyn(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const LevelSchedule dynamic = levelize_gpu_dynamic(dev_dyn, g);
+  validate_schedule(g, dynamic);
+  EXPECT_EQ(seq.level, dynamic.level);
+
+  // The point of Algorithm 5: child launches replace host launches, and
+  // the per-level host round-trips disappear.
+  EXPECT_GT(dev_dyn.stats().device_launches, 0u);
+  EXPECT_LT(dev_dyn.stats().host_launches, dev_host.stats().host_launches);
+  EXPECT_LT(dev_dyn.stats().sim_launch_us + dev_dyn.stats().sim_transfer_us,
+            dev_host.stats().sim_launch_us +
+                dev_host.stats().sim_transfer_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LevelizeTest, ::testing::Values(0, 1, 2, 3));
+
+TEST(Levelize, LevelEqualsLongestPath) {
+  // Chain 0 -> 1 -> 2 plus independent node 3.
+  Coo coo;
+  coo.n = 4;
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 2.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 2, 1.0);
+  const Csr a = coo_to_csr(coo);
+  const DependencyGraph g = graph_for(a);
+  const LevelSchedule s = levelize_sequential(g);
+  EXPECT_EQ(s.level[0], 0);
+  EXPECT_EQ(s.level[1], 1);
+  EXPECT_EQ(s.level[2], 2);
+  EXPECT_EQ(s.level[3], 0);
+  EXPECT_EQ(s.num_levels(), 3);
+}
+
+TEST(Levelize, DiagonalMatrixIsOneLevel) {
+  Coo coo;
+  coo.n = 64;
+  for (index_t i = 0; i < coo.n; ++i) coo.add(i, i, 1.0);
+  const DependencyGraph g = graph_for(coo_to_csr(coo));
+  const LevelSchedule s = levelize_sequential(g);
+  EXPECT_EQ(s.num_levels(), 1);
+  EXPECT_EQ(s.level_width(0), 64);
+}
+
+TEST(LevelClassifier, MatchesGlu30Taxonomy) {
+  EXPECT_EQ(classify_level(1000, 2.0), LevelType::A);
+  EXPECT_EQ(classify_level(1000, 100.0), LevelType::B);
+  EXPECT_EQ(classify_level(3, 100.0), LevelType::C);
+  EXPECT_EQ(classify_level(3, 2.0), LevelType::B);
+}
+
+}  // namespace
+}  // namespace e2elu::scheduling
+
+namespace e2elu::scheduling {
+namespace {
+
+class DependencyRuleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DependencyRuleTest, DoubleUIsASubsetAndStillCorrect) {
+  Csr a;
+  switch (GetParam()) {
+    case 0: a = gen_circuit(260, 4.0, 3, 18, 61); break;
+    case 1: a = gen_banded(260, 8, 5.0, 62); break;
+    default: {
+      // Deliberately unsymmetric: lower-only couplings abound.
+      Coo coo;
+      coo.n = 200;
+      Rng rng(63);
+      for (index_t i = 0; i < coo.n; ++i) {
+        coo.add(i, i, 4.0);
+        if (i > 0) coo.add(i, static_cast<index_t>(rng.next_below(i)), 1.0);
+        if (i + 1 < coo.n) coo.add(i, i + 1, 0.5);
+      }
+      a = coo_to_csr(coo);
+      make_diagonally_dominant(a);
+      break;
+    }
+  }
+  const Csr filled = symbolic::symbolic_rowmerge(a);
+  const DependencyGraph sym =
+      build_dependency_graph(filled, DependencyRule::Symmetrized);
+  const DependencyGraph dbl =
+      build_dependency_graph(filled, DependencyRule::DoubleU);
+  EXPECT_LE(dbl.num_edges(), sym.num_edges());
+
+  // Every double-U edge is also a symmetrized edge.
+  for (index_t i = 0; i < dbl.n; ++i) {
+    for (offset_t k = dbl.adj_ptr[i]; k < dbl.adj_ptr[i + 1]; ++k) {
+      const index_t j = dbl.adj[k];
+      const auto begin = sym.adj.begin() + sym.adj_ptr[i];
+      const auto end = sym.adj.begin() + sym.adj_ptr[i + 1];
+      EXPECT_TRUE(std::binary_search(begin, end, j));
+    }
+  }
+
+  // Shallower (or equal) schedules...
+  const LevelSchedule s_sym = levelize_sequential(sym);
+  const LevelSchedule s_dbl = levelize_sequential(dbl);
+  validate_schedule(dbl, s_dbl);
+  EXPECT_LE(s_dbl.num_levels(), s_sym.num_levels());
+
+  // ...and numerically identical factors.
+  numeric::FactorMatrix m_sym = numeric::FactorMatrix::build(filled, a);
+  numeric::FactorMatrix m_dbl = numeric::FactorMatrix::build(filled, a);
+  numeric::factorize_reference(m_sym, s_sym);
+  numeric::factorize_reference(m_dbl, s_dbl);
+  for (std::size_t k = 0; k < m_sym.csc.values.size(); ++k) {
+    ASSERT_NEAR(m_sym.csc.values[k], m_dbl.csc.values[k], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DependencyRuleTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(DependencyRule, DoubleUDropsCouplingWithoutSharedSubColumn) {
+  // L-only coupling (2,0) with no shared sub-column: DoubleU needs no
+  // edge 0 -> 2; Symmetrized keeps it.
+  Coo coo;
+  coo.n = 3;
+  for (index_t i = 0; i < 3; ++i) coo.add(i, i, 2.0);
+  coo.add(2, 0, 1.0);
+  const Csr filled = symbolic::symbolic_rowmerge(coo_to_csr(coo));
+  const DependencyGraph sym =
+      build_dependency_graph(filled, DependencyRule::Symmetrized);
+  const DependencyGraph dbl =
+      build_dependency_graph(filled, DependencyRule::DoubleU);
+  EXPECT_EQ(sym.num_edges(), 1);
+  EXPECT_EQ(dbl.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace e2elu::scheduling

@@ -1,0 +1,182 @@
+// Level-scheduled triangular solves and iterative refinement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sparse_lu.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "solve/triangular.hpp"
+#include "support/rng.hpp"
+
+namespace e2elu::solve {
+namespace {
+
+struct Factored {
+  Csr a;
+  FactorResult f;
+};
+
+Factored factor(Csr a) {
+  Options opt;
+  // Identity ordering so L U x = b solves the original system directly.
+  opt.ordering = Ordering::None;
+  opt.match_diagonal = false;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  Factored out;
+  out.a = std::move(a);
+  out.f = SparseLU(opt).factorize(out.a);
+  return out;
+}
+
+std::vector<value_t> rhs(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = static_cast<value_t>(rng.next_double(-1.0, 1.0));
+  return b;
+}
+
+class SolverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverSweep, GpuSolveMatchesSequentialSubstitution) {
+  Csr a;
+  switch (GetParam()) {
+    case 0: a = gen_grid2d(15, 15); break;
+    case 1: a = gen_banded(250, 8, 5.0, 41); break;
+    case 2: a = gen_circuit(250, 4.0, 2, 16, 42); break;
+    default: a = gen_blocked_planar(256, 32, 3.2, 4, 43); break;
+  }
+  Factored fx = factor(a);
+
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const LuSolver solver(dev, fx.f.l, fx.f.u);
+  const std::vector<value_t> b = rhs(a.n, 7);
+  const std::vector<value_t> x_gpu = solver.solve(b);
+  const std::vector<value_t> x_seq = SparseLU::solve(fx.f, b);
+  ASSERT_EQ(x_gpu.size(), x_seq.size());
+  for (std::size_t i = 0; i < x_gpu.size(); ++i) {
+    EXPECT_NEAR(x_gpu[i], x_seq[i], 1e-10) << "i=" << i;
+  }
+  EXPECT_LT(SparseLU::residual(fx.a, x_gpu, b), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SolverSweep, ::testing::Values(0, 1, 2, 3));
+
+TEST(TriangularSolver, LevelCountsBoundedByMatrixDepth) {
+  // A blocked matrix: each block's chain caps the level depth; levels
+  // must be far fewer than n.
+  Csr a = gen_blocked_planar(512, 64, 3.2, 4, 9);
+  Factored fx = factor(a);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const TriangularSolver lower(dev, fx.f.l, true);
+  EXPECT_LE(lower.num_levels(), 64 + 1);
+  EXPECT_GT(lower.num_levels(), 1);
+}
+
+TEST(TriangularSolver, SolvesRunLevelParallelKernels) {
+  Csr a = gen_blocked_planar(512, 64, 3.2, 4, 9);
+  Factored fx = factor(a);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const LuSolver solver(dev, fx.f.l, fx.f.u);
+  const auto launches_before = dev.stats().host_launches;
+  solver.solve(rhs(a.n, 3));
+  const auto launches = dev.stats().host_launches - launches_before;
+  // One launch per level per factor — far fewer than 2n row launches.
+  EXPECT_EQ(launches, static_cast<std::uint64_t>(solver.lower().num_levels() +
+                                                 solver.upper().num_levels()));
+}
+
+TEST(Refine, DrivesResidualDown) {
+  Csr a = gen_banded(300, 8, 5.0, 51);
+  Factored fx = factor(a);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const LuSolver solver(dev, fx.f.l, fx.f.u);
+
+  // Perturb the factors slightly so refinement has work to do.
+  Csr l_bad = fx.f.l, u_bad = fx.f.u;
+  for (auto& v : u_bad.values) v *= (1.0 + 1e-4);
+  const LuSolver sloppy(dev, l_bad, u_bad);
+
+  const std::vector<value_t> b = rhs(a.n, 5);
+  std::vector<value_t> x;
+  const std::vector<double> history = refine(fx.a, sloppy, b, x, 10, 1e-13);
+  ASSERT_GE(history.size(), 2u);
+  EXPECT_LT(history.back(), history.front());
+  EXPECT_LT(history.back(), 1e-10);
+  EXPECT_LT(SparseLU::residual(fx.a, x, b), 1e-10);
+}
+
+TEST(Refine, ConvergedSystemStopsEarly) {
+  Csr a = gen_banded(150, 6, 4.0, 61);
+  Factored fx = factor(a);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  const LuSolver solver(dev, fx.f.l, fx.f.u);
+  std::vector<value_t> x;
+  const std::vector<double> history =
+      refine(fx.a, solver, rhs(a.n, 6), x, 10, 1e-12);
+  EXPECT_LE(history.size(), 3u);  // exact factors: immediate convergence
+}
+
+TEST(TriangularSolver, RejectsMissingDiagonal) {
+  Csr l(2);
+  l.row_ptr = {0, 1, 2};
+  l.col_idx = {0, 0};  // row 1 lacks (1,1)
+  l.values = {1.0, 0.5};
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(1u << 20));
+  EXPECT_THROW(TriangularSolver(dev, l, true), Error);
+}
+
+}  // namespace
+}  // namespace e2elu::solve
+
+#include "solve/pipeline_solver.hpp"
+
+namespace e2elu::solve {
+namespace {
+
+TEST(PipelineSolver, HandlesPermutedFactorizations) {
+  // Full pipeline with matching + ordering: the solver must undo both
+  // permutations.
+  Coo coo;
+  coo.n = 120;
+  Rng rng(21);
+  for (index_t i = 0; i < coo.n; ++i) {
+    coo.add(i, (i + 3) % coo.n, 5.0);  // strong shifted "diagonal"
+    coo.add(i, (i * 7 + 1) % coo.n, 1.0);
+    coo.add(i, (i * 13 + 5) % coo.n, 0.5);
+  }
+  const Csr a = coo_to_csr(coo);
+  Options opt;
+  opt.ordering = Ordering::MinDegree;
+  opt.match_diagonal = true;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  const FactorResult f = SparseLU(opt).factorize(a);
+
+  gpusim::Device dev(opt.device);
+  const PipelineSolver solver(dev, f);
+  const std::vector<value_t> b = rhs(a.n, 8);
+  const std::vector<value_t> x = solver.solve(b);
+  EXPECT_LT(SparseLU::residual(a, x, b), 1e-9);
+
+  const std::vector<value_t> xr = solver.solve_refined(a, b);
+  EXPECT_LE(SparseLU::residual(a, xr, b), 1e-11);
+}
+
+TEST(PipelineSolver, MatchesHostSolveExactly) {
+  const Csr a = gen_circuit(300, 4.0, 2, 20, 33);
+  Options opt;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  const FactorResult f = SparseLU(opt).factorize(a);
+  gpusim::Device dev(opt.device);
+  const PipelineSolver solver(dev, f);
+  const std::vector<value_t> b = rhs(a.n, 9);
+  const std::vector<value_t> x_dev = solver.solve(b);
+  const std::vector<value_t> x_host = SparseLU::solve(f, b);
+  for (std::size_t i = 0; i < x_dev.size(); ++i) {
+    EXPECT_NEAR(x_dev[i], x_host[i], 1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace e2elu::solve

@@ -1,0 +1,136 @@
+// Support layer: thread pool, prefix sums, RNG, error macros, timer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/prefix_sum.hpp"
+#include "support/types.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace e2elu {
+namespace {
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RangesArePartition) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for_ranges(5123, [&](std::size_t b, std::size_t e,
+                                     std::size_t worker) {
+    EXPECT_LT(worker, pool.num_threads());
+    std::lock_guard<std::mutex> lock(m);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expect = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, expect);
+    EXPECT_LT(b, e);
+    expect = e;
+  }
+  EXPECT_EQ(expect, 5123u);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int sum = 0;
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(PrefixSum, SequentialMatchesDefinition) {
+  std::vector<offset_t> in{3, 0, 5, 1, 2};
+  std::vector<offset_t> out;
+  EXPECT_EQ(exclusive_scan(in, out), 11);
+  EXPECT_EQ(out, (std::vector<offset_t>{0, 3, 3, 8, 9}));
+}
+
+TEST(PrefixSum, InPlaceAliasing) {
+  std::vector<offset_t> data{1, 2, 3};
+  EXPECT_EQ(exclusive_scan(data, data), 6);
+  EXPECT_EQ(data, (std::vector<offset_t>{0, 1, 3}));
+}
+
+TEST(PrefixSum, ParallelMatchesSequential) {
+  Rng rng(5);
+  for (std::size_t n : {0u, 1u, 7u, 1000u, 65536u}) {
+    std::vector<offset_t> data(n);
+    for (auto& v : data) v = static_cast<offset_t>(rng.next_below(100));
+    std::vector<offset_t> expected;
+    const offset_t total = exclusive_scan(data, expected);
+    const offset_t ptotal = parallel_exclusive_scan(data);
+    EXPECT_EQ(total, ptotal);
+    EXPECT_EQ(data, expected);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++buckets[rng.next_below(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, 9'000);
+    EXPECT_LT(b, 11'000);
+  }
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    E2ELU_CHECK_MSG(1 == 2, "the answer is " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  const double before = t.millis();
+  t.reset();
+  EXPECT_LE(t.millis(), before + 1000.0);
+}
+
+}  // namespace
+}  // namespace e2elu

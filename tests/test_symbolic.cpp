@@ -1,0 +1,188 @@
+// Symbolic factorization: fill2 against the elimination oracle, and
+// agreement of every driver with the sequential reference.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "matrix/generators.hpp"
+#include "symbolic/fill2.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace e2elu::symbolic {
+namespace {
+
+// (generator kind, n-ish size, seed)
+struct Case {
+  const char* name;
+  Csr matrix;
+};
+
+Csr make_case(int kind, index_t scale, std::uint64_t seed) {
+  switch (kind) {
+    case 0:
+      return gen_grid2d(scale, scale);
+    case 1:
+      return gen_banded(scale * scale, 8, 5.0, seed);
+    case 2:
+      return gen_circuit(scale * scale, 4.0, 3, scale, seed);
+    default:
+      return gen_near_planar(scale * scale, 3.5, 6, seed);
+  }
+}
+
+class SymbolicOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SymbolicOracleTest, Fill2MatchesEliminationOracle) {
+  const auto [kind, scale, seed] = GetParam();
+  const Csr a = make_case(kind, scale, 1000 + seed);
+  const Csr oracle = symbolic_elimination_oracle(a);
+  const SymbolicResult ref = symbolic_reference(a);
+  ASSERT_TRUE(same_pattern(oracle, ref.filled))
+      << "kind=" << kind << " scale=" << scale << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SymbolicOracleTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(5, 9, 14),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(SymbolicReference, FillPatternIsSupersetOfInput) {
+  const Csr a = gen_circuit(300, 4.0, 4, 30, 7);
+  const SymbolicResult ref = symbolic_reference(a);
+  for (index_t i = 0; i < a.n; ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_TRUE(has_entry(ref.filled, i, j))
+          << "(" << i << "," << j << ") lost";
+    }
+  }
+  EXPECT_GE(ref.filled.nnz(), a.nnz());
+}
+
+TEST(SymbolicReference, CountsMatchRowLengths) {
+  const Csr a = gen_banded(400, 10, 6.0, 11);
+  const SymbolicResult ref = symbolic_reference(a);
+  for (index_t i = 0; i < a.n; ++i) {
+    EXPECT_EQ(ref.fill_count[i],
+              ref.filled.row_ptr[i + 1] - ref.filled.row_ptr[i]);
+  }
+}
+
+class DriverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DriverAgreementTest, AllDriversProduceTheReferencePattern) {
+  const Csr a = make_case(GetParam(), 12, 42);
+  const SymbolicResult ref = symbolic_reference(a);
+
+  const SymbolicResult cpu = symbolic_cpu(a);
+  EXPECT_TRUE(same_pattern(ref.filled, cpu.filled)) << "cpu";
+
+  // Device deliberately too small for the full scratch -> forces chunking.
+  // It must still hold the matrix, the counts, and the filled output, plus
+  // about n/5 rows of scratch.
+  const std::size_t resident_bytes =
+      a.row_ptr.size() * sizeof(offset_t) +
+      a.col_idx.size() * sizeof(index_t) +
+      static_cast<std::size_t>(a.n) * sizeof(index_t) +
+      static_cast<std::size_t>(ref.filled.nnz()) * sizeof(index_t);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(
+      resident_bytes +
+      scratch_bytes_per_row(a.n) * std::max<std::size_t>(2, a.n / 5)));
+
+  const SymbolicResult ooc = symbolic_out_of_core(dev, a);
+  EXPECT_TRUE(same_pattern(ref.filled, ooc.filled)) << "out-of-core";
+  EXPECT_GT(ooc.num_chunks, 1) << "test should actually chunk";
+
+  const SymbolicResult dyn = symbolic_out_of_core_dynamic(dev, a);
+  EXPECT_TRUE(same_pattern(ref.filled, dyn.filled)) << "dynamic";
+
+  const SymbolicResult um = symbolic_unified_memory(dev, a, true);
+  EXPECT_TRUE(same_pattern(ref.filled, um.filled)) << "um+prefetch";
+
+  const SymbolicResult um_np = symbolic_unified_memory(dev, a, false);
+  EXPECT_TRUE(same_pattern(ref.filled, um_np.filled)) << "um";
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DriverAgreementTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(UnifiedMemorySymbolic, PrefetchReducesFaultGroups) {
+  const Csr a = gen_circuit(900, 4.0, 3, 40, 5);
+  gpusim::Device dev_np(gpusim::DeviceSpec::v100_with_memory(8u << 20));
+  symbolic_unified_memory(dev_np, a, false);
+  gpusim::Device dev_p(gpusim::DeviceSpec::v100_with_memory(8u << 20));
+  symbolic_unified_memory(dev_p, a, true);
+  EXPECT_LT(dev_p.stats().page_fault_groups, dev_np.stats().page_fault_groups);
+  EXPECT_GT(dev_np.stats().page_fault_groups, 0u);
+}
+
+TEST(OutOfCoreSymbolic, TransfersAreTinyComparedToUnifiedMemoryFaults) {
+  const Csr a = gen_circuit(900, 4.0, 3, 40, 5);
+  gpusim::Device dev_ooc(gpusim::DeviceSpec::v100_with_memory(8u << 20));
+  symbolic_out_of_core(dev_ooc, a);
+  EXPECT_EQ(dev_ooc.stats().page_faults, 0u);
+  gpusim::Device dev_um(gpusim::DeviceSpec::v100_with_memory(8u << 20));
+  symbolic_unified_memory(dev_um, a, false);
+  EXPECT_GT(dev_um.stats().sim_fault_us, dev_ooc.stats().sim_transfer_us);
+}
+
+TEST(FrontierProfile, PeaksLaterForHubCircuits) {
+  // Figure 3's shape: with hubs at low indices, high rows reach many
+  // intermediates, so the peak frontier grows toward the end.
+  const Csr a = gen_circuit(1200, 4.0, 4, 60, 9);
+  const std::vector<index_t> prof = frontier_profile(a);
+  // Average frontier over the last quarter should exceed the first quarter.
+  double head = 0, tail = 0;
+  const index_t q = a.n / 4;
+  for (index_t i = 0; i < q; ++i) head += prof[i];
+  for (index_t i = a.n - q; i < a.n; ++i) tail += prof[i];
+  EXPECT_GT(tail, head);
+}
+
+}  // namespace
+}  // namespace e2elu::symbolic
+
+namespace e2elu::symbolic {
+namespace {
+
+class RowMergeCrossCheck
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RowMergeCrossCheck, RowMergeEqualsFill2) {
+  const auto [kind, scale] = GetParam();
+  const Csr a = make_case(kind, scale, 77);
+  const SymbolicResult ref = symbolic_reference(a);
+  const Csr merged = symbolic_rowmerge(a);
+  EXPECT_TRUE(same_pattern(ref.filled, merged));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RowMergeCrossCheck,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(6, 11, 16)));
+
+class MultipartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultipartTest, AnyPartCountProducesTheReferencePattern) {
+  const Csr a = make_case(2, 14, 5);  // circuit: growing frontier profile
+  const SymbolicResult ref = symbolic_reference(a);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(
+      static_cast<std::size_t>(a.nnz()) * 64 +
+      scratch_bytes_per_row(a.n) * 48));
+  const SymbolicResult multi =
+      symbolic_out_of_core_multipart(dev, a, GetParam());
+  EXPECT_TRUE(same_pattern(ref.filled, multi.filled))
+      << "parts=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, MultipartTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(Multipart, RejectsZeroParts) {
+  const Csr a = make_case(0, 5, 1);
+  gpusim::Device dev(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+  EXPECT_THROW(symbolic_out_of_core_multipart(dev, a, 0), Error);
+}
+
+}  // namespace
+}  // namespace e2elu::symbolic
