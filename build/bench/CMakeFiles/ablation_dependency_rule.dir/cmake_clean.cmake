@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dependency_rule.dir/ablation_dependency_rule.cpp.o"
+  "CMakeFiles/ablation_dependency_rule.dir/ablation_dependency_rule.cpp.o.d"
+  "ablation_dependency_rule"
+  "ablation_dependency_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dependency_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_params.dir/ablation_dynamic_params.cpp.o"
+  "CMakeFiles/ablation_dynamic_params.dir/ablation_dynamic_params.cpp.o.d"
+  "ablation_dynamic_params"
+  "ablation_dynamic_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_levelize.dir/ext_levelize.cpp.o"
+  "CMakeFiles/ext_levelize.dir/ext_levelize.cpp.o.d"
+  "ext_levelize"
+  "ext_levelize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_levelize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

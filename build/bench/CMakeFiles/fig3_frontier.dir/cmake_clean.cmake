@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_frontier.dir/fig3_frontier.cpp.o"
+  "CMakeFiles/fig3_frontier.dir/fig3_frontier.cpp.o.d"
+  "fig3_frontier"
+  "fig3_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

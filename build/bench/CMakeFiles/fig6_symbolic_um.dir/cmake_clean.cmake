@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_symbolic_um.dir/fig6_symbolic_um.cpp.o"
+  "CMakeFiles/fig6_symbolic_um.dir/fig6_symbolic_um.cpp.o.d"
+  "fig6_symbolic_um"
+  "fig6_symbolic_um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_symbolic_um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dynamic_assignment.dir/fig7_dynamic_assignment.cpp.o"
+  "CMakeFiles/fig7_dynamic_assignment.dir/fig7_dynamic_assignment.cpp.o.d"
+  "fig7_dynamic_assignment"
+  "fig7_dynamic_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dynamic_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_page_faults.dir/table3_page_faults.cpp.o"
+  "CMakeFiles/table3_page_faults.dir/table3_page_faults.cpp.o.d"
+  "table3_page_faults"
+  "table3_page_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_page_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_page_faults.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_max_blocks.dir/table4_max_blocks.cpp.o"
+  "CMakeFiles/table4_max_blocks.dir/table4_max_blocks.cpp.o.d"
+  "table4_max_blocks"
+  "table4_max_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_max_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

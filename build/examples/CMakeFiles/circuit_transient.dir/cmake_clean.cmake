@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_transient.dir/circuit_transient.cpp.o"
+  "CMakeFiles/circuit_transient.dir/circuit_transient.cpp.o.d"
+  "circuit_transient"
+  "circuit_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

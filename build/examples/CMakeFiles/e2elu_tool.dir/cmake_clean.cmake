@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2elu_tool.dir/e2elu_tool.cpp.o"
+  "CMakeFiles/e2elu_tool.dir/e2elu_tool.cpp.o.d"
+  "e2elu_tool"
+  "e2elu_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2elu_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

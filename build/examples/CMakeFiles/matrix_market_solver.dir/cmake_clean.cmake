@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_market_solver.dir/matrix_market_solver.cpp.o"
+  "CMakeFiles/matrix_market_solver.dir/matrix_market_solver.cpp.o.d"
+  "matrix_market_solver"
+  "matrix_market_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_market_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/e2elu.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/core/sparse_lu.cpp" "src/CMakeFiles/e2elu.dir/core/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/core/sparse_lu.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/e2elu.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/matrix/convert.cpp" "src/CMakeFiles/e2elu.dir/matrix/convert.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/matrix/convert.cpp.o.d"
+  "/root/repo/src/matrix/csc.cpp" "src/CMakeFiles/e2elu.dir/matrix/csc.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/matrix/csc.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/CMakeFiles/e2elu.dir/matrix/csr.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/matrix/csr.cpp.o.d"
+  "/root/repo/src/matrix/generators.cpp" "src/CMakeFiles/e2elu.dir/matrix/generators.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/matrix/generators.cpp.o.d"
+  "/root/repo/src/matrix/mm_io.cpp" "src/CMakeFiles/e2elu.dir/matrix/mm_io.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/matrix/mm_io.cpp.o.d"
+  "/root/repo/src/matrix/suite.cpp" "src/CMakeFiles/e2elu.dir/matrix/suite.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/matrix/suite.cpp.o.d"
+  "/root/repo/src/numeric/dense_window.cpp" "src/CMakeFiles/e2elu.dir/numeric/dense_window.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/numeric/dense_window.cpp.o.d"
+  "/root/repo/src/numeric/factor_matrix.cpp" "src/CMakeFiles/e2elu.dir/numeric/factor_matrix.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/numeric/factor_matrix.cpp.o.d"
+  "/root/repo/src/numeric/sparse_bsearch.cpp" "src/CMakeFiles/e2elu.dir/numeric/sparse_bsearch.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/numeric/sparse_bsearch.cpp.o.d"
+  "/root/repo/src/preprocess/matching.cpp" "src/CMakeFiles/e2elu.dir/preprocess/matching.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/preprocess/matching.cpp.o.d"
+  "/root/repo/src/preprocess/ordering.cpp" "src/CMakeFiles/e2elu.dir/preprocess/ordering.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/preprocess/ordering.cpp.o.d"
+  "/root/repo/src/preprocess/permute.cpp" "src/CMakeFiles/e2elu.dir/preprocess/permute.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/preprocess/permute.cpp.o.d"
+  "/root/repo/src/scheduling/levelize.cpp" "src/CMakeFiles/e2elu.dir/scheduling/levelize.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/scheduling/levelize.cpp.o.d"
+  "/root/repo/src/solve/triangular.cpp" "src/CMakeFiles/e2elu.dir/solve/triangular.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/solve/triangular.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/e2elu.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/support/thread_pool.cpp.o.d"
+  "/root/repo/src/symbolic/out_of_core.cpp" "src/CMakeFiles/e2elu.dir/symbolic/out_of_core.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/symbolic/out_of_core.cpp.o.d"
+  "/root/repo/src/symbolic/reference.cpp" "src/CMakeFiles/e2elu.dir/symbolic/reference.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/symbolic/reference.cpp.o.d"
+  "/root/repo/src/symbolic/rowmerge.cpp" "src/CMakeFiles/e2elu.dir/symbolic/rowmerge.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/symbolic/rowmerge.cpp.o.d"
+  "/root/repo/src/symbolic/unified_memory.cpp" "src/CMakeFiles/e2elu.dir/symbolic/unified_memory.cpp.o" "gcc" "src/CMakeFiles/e2elu.dir/symbolic/unified_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_fill2_edge.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_fill2_edge.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_fill2_edge.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_numeric.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_numeric.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_numeric.cpp.o.d"
+  "/root/repo/tests/test_numeric_edge.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_numeric_edge.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_numeric_edge.cpp.o.d"
+  "/root/repo/tests/test_preprocess.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_preprocess.cpp.o.d"
+  "/root/repo/tests/test_scheduling.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_scheduling.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_scheduling.cpp.o.d"
+  "/root/repo/tests/test_solve.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_solve.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_solve.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_symbolic.cpp" "tests/CMakeFiles/e2elu_tests.dir/test_symbolic.cpp.o" "gcc" "tests/CMakeFiles/e2elu_tests.dir/test_symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e2elu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2elu_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_core.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_fill2_edge.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_fill2_edge.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_gpusim.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_gpusim.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_matrix.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_numeric.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_numeric.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_numeric_edge.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_numeric_edge.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_preprocess.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_preprocess.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_scheduling.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_scheduling.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_solve.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_solve.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_support.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_support.cpp.o.d"
+  "CMakeFiles/e2elu_tests.dir/test_symbolic.cpp.o"
+  "CMakeFiles/e2elu_tests.dir/test_symbolic.cpp.o.d"
+  "e2elu_tests"
+  "e2elu_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2elu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
