@@ -23,6 +23,16 @@ Permutation identity_permutation(index_t n) {
 }  // namespace
 
 FactorResult SparseLU::factorize(const Csr& a_in) {
+  return factorize_impl(a_in, nullptr);
+}
+
+FactorResult SparseLU::factorize(const Csr& a_in,
+                                 FactorizationArtifacts& artifacts) {
+  return factorize_impl(a_in, &artifacts);
+}
+
+FactorResult SparseLU::factorize_impl(const Csr& a_in,
+                                      FactorizationArtifacts* artifacts) {
   validate(a_in);
   E2ELU_CHECK_MSG(a_in.n > 0, "empty matrix");
   E2ELU_CHECK_MSG(!a_in.values.empty(), "matrix has no values");
@@ -158,6 +168,11 @@ FactorResult SparseLU::factorize(const Csr& a_in) {
 
   numeric::extract_lu(fm, res.l, res.u);
   res.device_stats = dev.stats();
+  if (artifacts != nullptr) {
+    artifacts->filled = std::move(sym.filled);
+    artifacts->schedule = std::move(schedule);
+    artifacts->use_sparse_numeric = use_sparse;
+  }
   return res;
 }
 

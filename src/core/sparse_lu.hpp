@@ -98,12 +98,27 @@ struct FactorResult {
   }
 };
 
+/// The pattern-dependent (value-independent) intermediates of one
+/// factorize() run: everything a same-pattern re-factorization can reuse
+/// without redoing the symbolic and levelization phases. The permutations
+/// live in the accompanying FactorResult. Consumed by
+/// refactor::Refactorizer.
+struct FactorizationArtifacts {
+  Csr filled;                          ///< pattern of As = L+U, rows sorted
+  scheduling::LevelSchedule schedule;  ///< column level schedule
+  bool use_sparse_numeric = false;     ///< resolved numeric-format decision
+};
+
 class SparseLU {
  public:
   explicit SparseLU(Options options = {});
 
   /// Runs the full pipeline on A (square, structurally non-singular).
   FactorResult factorize(const Csr& a);
+
+  /// As factorize(), additionally exporting the symbolic / scheduling
+  /// intermediates for pattern-reuse re-factorization.
+  FactorResult factorize(const Csr& a, FactorizationArtifacts& artifacts);
 
   /// Solves A x = b using a factorization from this class (applies the
   /// stored permutations around the triangular solves).
@@ -115,6 +130,8 @@ class SparseLU {
                          std::span<const value_t> b);
 
  private:
+  FactorResult factorize_impl(const Csr& a, FactorizationArtifacts* artifacts);
+
   Options options_;
 };
 

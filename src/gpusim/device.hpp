@@ -51,6 +51,26 @@ struct DeviceStats {
     const double total = sim_total_us();
     return total == 0 ? 0.0 : 100.0 * sim_transfer_us / total;
   }
+
+  /// Per-call accounting on a long-lived device: the counters accumulated
+  /// since an earlier snapshot `before` of the same device. Used by the
+  /// refactorization engine to attribute work to individual calls.
+  DeviceStats since(const DeviceStats& before) const {
+    DeviceStats d;
+    d.host_launches = host_launches - before.host_launches;
+    d.device_launches = device_launches - before.device_launches;
+    d.kernel_ops = kernel_ops - before.kernel_ops;
+    d.h2d_bytes = h2d_bytes - before.h2d_bytes;
+    d.d2h_bytes = d2h_bytes - before.d2h_bytes;
+    d.page_faults = page_faults - before.page_faults;
+    d.page_fault_groups = page_fault_groups - before.page_fault_groups;
+    d.prefetch_bytes = prefetch_bytes - before.prefetch_bytes;
+    d.sim_kernel_us = sim_kernel_us - before.sim_kernel_us;
+    d.sim_launch_us = sim_launch_us - before.sim_launch_us;
+    d.sim_transfer_us = sim_transfer_us - before.sim_transfer_us;
+    d.sim_fault_us = sim_fault_us - before.sim_fault_us;
+    return d;
+  }
 };
 
 /// Launch descriptor for one (possibly device-launched) kernel.

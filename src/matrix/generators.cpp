@@ -39,6 +39,22 @@ void make_diagonally_dominant(Csr& a) {
   }
 }
 
+Csr gen_value_drift(const Csr& base, double magnitude, std::uint64_t step) {
+  E2ELU_CHECK_MSG(!base.values.empty(), "base matrix has no values");
+  Csr a = base;
+  const double phase = 0.61 * static_cast<double>(step);
+  for (index_t i = 0; i < a.n; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const index_t j = a.col_idx[k];
+      if (j == i) continue;
+      a.values[k] *= static_cast<value_t>(
+          1.0 + magnitude * std::sin(phase + 0.37 * i + 0.53 * j));
+    }
+  }
+  make_diagonally_dominant(a);
+  return a;
+}
+
 Csr gen_grid2d(index_t nx, index_t ny) {
   E2ELU_CHECK(nx > 0 && ny > 0);
   Coo coo;

@@ -63,4 +63,12 @@ Csr gen_blocked_planar(index_t n, index_t block_size, double nnz_per_row,
 /// |a_ii| = 1 + sum_j |a_ij|. Requires a full structural diagonal.
 void make_diagonally_dominant(Csr& a);
 
+/// Same pattern as `base`, values perturbed: every off-diagonal is scaled
+/// by 1 + magnitude * sin(smooth deterministic phase of (step, i, j)), and
+/// the diagonal re-set to keep strict diagonal dominance. A stand-in for
+/// temperature-drifting conductances across the Newton/transient steps of
+/// a circuit simulation — the value-varying, pattern-fixed sequence the
+/// refactorization engine exists for.
+Csr gen_value_drift(const Csr& base, double magnitude, std::uint64_t step);
+
 }  // namespace e2elu

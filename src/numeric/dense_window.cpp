@@ -9,6 +9,7 @@
 // Table 4 reports and Figure 8 shows the sparse format removing.
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "gpusim/device_buffer.hpp"
@@ -31,18 +32,20 @@ struct Batch {
 
 NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
                                     const scheduling::LevelSchedule& s,
-                                    const NumericOptions& /*opt*/) {
+                                    const NumericOptions& opt,
+                                    const LevelPlan* plan) {
   WallTimer timer;
   NumericStats stats;
   const std::uint64_t ops_before = dev.stats().kernel_ops;
   const index_t n = m.n();
+  if (plan != nullptr) {
+    E2ELU_CHECK_MSG(plan->type.size() ==
+                        static_cast<std::size_t>(s.num_levels()),
+                    "level plan does not match the schedule");
+  }
 
-  gpusim::DeviceBuffer<offset_t> d_col_ptr(dev, std::span(m.csc.col_ptr));
-  gpusim::DeviceBuffer<index_t> d_row_idx(dev, std::span(m.csc.row_idx));
-  gpusim::DeviceBuffer<value_t> d_values(dev, std::span(m.csc.values));
-  gpusim::DeviceBuffer<offset_t> d_row_ptr(dev, std::span(m.pattern.row_ptr));
-  gpusim::DeviceBuffer<index_t> d_col_idx(dev, std::span(m.pattern.col_idx));
-  gpusim::DeviceBuffer<offset_t> d_map(dev, std::span(m.csr_pos_to_csc));
+  std::optional<DeviceFactorMatrix> mirrors;
+  if (!opt.device_resident) mirrors.emplace(dev, m);
 
   const index_t window = max_parallel_dense_columns(dev.free_bytes(), n);
   E2ELU_CHECK_MSG(window >= 2,
@@ -206,10 +209,16 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
   };
 
   for (index_t l = 0; l < s.num_levels(); ++l) {
-    const double avg_l = detail::mean_l_length(m, s, l);
-    const double warp_eff = dev.spec().simt_efficiency(std::max(avg_l, 1.0));
-    level_type = scheduling::classify_level(s.level_width(l),
-                                            detail::mean_sub_columns(m, s, l));
+    double warp_eff;
+    if (plan != nullptr) {
+      warp_eff = plan->warp_eff[l];
+      level_type = plan->type[l];
+    } else {
+      const double avg_l = detail::mean_l_length(m, s, l);
+      warp_eff = dev.spec().simt_efficiency(std::max(avg_l, 1.0));
+      level_type = scheduling::classify_level(
+          s.level_width(l), detail::mean_sub_columns(m, s, l));
+    }
     Batch batch;
     for (index_t k = s.level_ptr[l]; k < s.level_ptr[l + 1]; ++k) {
       const index_t j = s.level_cols[k];

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/check.hpp"
 
 namespace e2elu::numeric {
 
-FactorMatrix FactorMatrix::build(const Csr& filled, const Csr& a) {
-  E2ELU_CHECK(filled.n == a.n);
-  E2ELU_CHECK_MSG(!a.values.empty(), "input matrix has no values");
+FactorMatrix FactorMatrix::build_skeleton(const Csr& filled) {
   FactorMatrix m;
   m.pattern = filled;
   m.pattern.values.clear();
@@ -18,8 +17,8 @@ FactorMatrix FactorMatrix::build(const Csr& filled, const Csr& a) {
   m.csc.values.assign(static_cast<std::size_t>(m.csc.nnz()), value_t{0});
   m.csr_pos_to_csc = csr_to_csc_position_map(m.pattern, m.csc);
 
-  m.diag_pos.resize(a.n);
-  for (index_t j = 0; j < a.n; ++j) {
+  m.diag_pos.resize(filled.n);
+  for (index_t j = 0; j < filled.n; ++j) {
     const auto rows = m.csc.col_rows(j);
     const auto it = std::lower_bound(rows.begin(), rows.end(), j);
     E2ELU_CHECK_MSG(it != rows.end() && *it == j,
@@ -27,7 +26,13 @@ FactorMatrix FactorMatrix::build(const Csr& filled, const Csr& a) {
                         << j << "; run diagonal matching / patching first");
     m.diag_pos[j] = m.csc.col_ptr[j] + (it - rows.begin());
   }
+  return m;
+}
 
+void scatter_values(FactorMatrix& m, const Csr& a) {
+  E2ELU_CHECK(m.n() == a.n);
+  E2ELU_CHECK_MSG(!a.values.empty(), "input matrix has no values");
+  std::fill(m.csc.values.begin(), m.csc.values.end(), value_t{0});
   // Scatter A's values through the position map: walk A's row and the
   // pattern row together (the pattern is a superset).
   for (index_t i = 0; i < a.n; ++i) {
@@ -41,7 +46,39 @@ FactorMatrix FactorMatrix::build(const Csr& filled, const Csr& a) {
       m.csc.values[m.csr_pos_to_csc[p]] = a.values[k];
     }
   }
+}
+
+FactorMatrix FactorMatrix::build(const Csr& filled, const Csr& a) {
+  E2ELU_CHECK(filled.n == a.n);
+  FactorMatrix m = build_skeleton(filled);
+  scatter_values(m, a);
   return m;
+}
+
+LevelPlan build_level_plan(const FactorMatrix& m,
+                           const scheduling::LevelSchedule& s,
+                           const gpusim::DeviceSpec& spec) {
+  LevelPlan plan;
+  plan.type = scheduling::classify_schedule(s, m.pattern);
+  plan.warp_eff.resize(static_cast<std::size_t>(s.num_levels()));
+  for (index_t l = 0; l < s.num_levels(); ++l) {
+    plan.warp_eff[l] =
+        spec.simt_efficiency(std::max(detail::mean_l_length(m, s, l), 1.0));
+  }
+  return plan;
+}
+
+DeviceFactorMatrix::DeviceFactorMatrix(gpusim::Device& device,
+                                       const FactorMatrix& m)
+    : col_ptr(device, std::span(m.csc.col_ptr)),
+      row_ptr(device, std::span(m.pattern.row_ptr)),
+      map(device, std::span(m.csr_pos_to_csc)),
+      row_idx(device, std::span(m.csc.row_idx)),
+      col_idx(device, std::span(m.pattern.col_idx)),
+      values(device, std::span(m.csc.values)) {}
+
+void DeviceFactorMatrix::upload_values(const FactorMatrix& m) {
+  values.copy_from_host(std::span(m.csc.values));
 }
 
 index_t max_parallel_dense_columns(std::size_t free_bytes, index_t n) {

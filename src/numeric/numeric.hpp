@@ -16,9 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "gpusim/device_buffer.hpp"
+#include "gpusim/unified_buffer.hpp"
 #include "matrix/convert.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
@@ -40,12 +43,95 @@ struct FactorMatrix {
   /// fill-in positions start at zero. `filled` must contain `a`'s pattern
   /// (it does, by Theorem 1) and a full diagonal.
   static FactorMatrix build(const Csr& filled, const Csr& a);
+
+  /// Structure-only build: pattern, CSC skeleton, position maps, diagonal
+  /// positions — everything value-independent. A re-factorization caches
+  /// this and refills values with scatter_values() per matrix.
+  static FactorMatrix build_skeleton(const Csr& filled);
+};
+
+/// Re-scatters `a`'s values into an existing skeleton (fill-in positions
+/// reset to zero; structure untouched). The reuse entry point of the
+/// refactorization path: pattern of `a` must be contained in the skeleton.
+void scatter_values(FactorMatrix& m, const Csr& a);
+
+/// Per-level execution parameters that depend only on the pattern and the
+/// schedule: GLU3.0 A/B/C type and the modeled warp efficiency. Computed
+/// once per symbolic factorization and reused across re-factorizations.
+struct LevelPlan {
+  std::vector<scheduling::LevelType> type;  ///< one per level
+  std::vector<double> warp_eff;             ///< one per level
+};
+
+LevelPlan build_level_plan(const FactorMatrix& m,
+                           const scheduling::LevelSchedule& s,
+                           const gpusim::DeviceSpec& spec);
+
+/// Replay plan for re-factorization (the cuSOLVER-rf / NICSLU task list):
+/// the exact CSC destination of every sub-column update, resolved once per
+/// pattern on the host. Sub-columns are laid out level by level in
+/// elimination order; for sub-column `sc` (the strictly-upper entry (j,k)),
+/// tasks[task_start[sc] + t] is the position of As(i_t, k) where i_t is the
+/// t-th row of L(:,j) — present by Theorem 1, ascending because columns are
+/// sorted. With destinations precomputed, the numeric phase needs no
+/// element search at all (dense window) and no binary search (Algorithm 6):
+/// every update is an independent fused multiply-subtract, which is why
+/// real re-factorization engines run level-scheduled flat task lists. The
+/// O(flops) position memory only pays for itself across a same-pattern
+/// sequence, so only the reuse path builds one.
+struct ReplayPlan {
+  /// Sub-column ranges per level: level l owns sub-columns
+  /// [level_ptr[l], level_ptr[l+1]).
+  std::vector<offset_t> level_ptr;
+  std::vector<std::uint32_t> ujk_pos;    ///< per sub-column: position of U(j,k)
+  std::vector<std::uint32_t> src_start;  ///< per sub-column: first L(:,j) slot
+  std::vector<std::uint32_t> task_start;  ///< per sub-column + sentinel
+  std::vector<std::uint32_t> tasks;       ///< per update: destination position
+
+  bool empty() const { return level_ptr.empty(); }
+};
+
+/// Builds the task list for one pattern + schedule. Returns an empty plan
+/// when positions do not fit 32 bits (the executor then falls back to
+/// binary search).
+ReplayPlan build_replay_plan(const FactorMatrix& m,
+                             const scheduling::LevelSchedule& s);
+
+/// Device residency for a ReplayPlan. The per-sub-column arrays are small
+/// (O(fill)) and always device-resident; the O(flops) task array goes to
+/// device memory when it fits and to unified (managed) memory otherwise —
+/// oversubscription paging is exactly what the paper's unified-memory
+/// model is for. Construction throws OutOfDeviceMemory only when even the
+/// per-sub-column arrays do not fit.
+struct DeviceReplayPlan {
+  gpusim::DeviceBuffer<std::uint32_t> ujk_pos, src_start, task_start;
+  std::optional<gpusim::DeviceBuffer<std::uint32_t>> tasks_device;
+  std::optional<gpusim::UnifiedBuffer<std::uint32_t>> tasks_unified;
+
+  DeviceReplayPlan(gpusim::Device& device, const ReplayPlan& plan);
+};
+
+/// Device residency for one FactorMatrix: the arrays the executors keep
+/// on-device (CSC structure + values, CSR pattern, position map).
+/// Constructing charges the allocations and uploads; a Refactorizer holds
+/// one across calls and re-uploads only the values.
+struct DeviceFactorMatrix {
+  gpusim::DeviceBuffer<offset_t> col_ptr, row_ptr, map;
+  gpusim::DeviceBuffer<index_t> row_idx, col_idx;
+  gpusim::DeviceBuffer<value_t> values;
+
+  DeviceFactorMatrix(gpusim::Device& device, const FactorMatrix& m);
+
+  /// cudaMemcpy of the values array only — the per-refactorization
+  /// transfer (structure stays resident).
+  void upload_values(const FactorMatrix& m);
 };
 
 struct NumericOptions {
-  // Reserved for future tuning knobs; SIMT efficiency is modeled by
-  // gpusim::DeviceSpec::simt_efficiency from the level's mean L-column
-  // length.
+  /// The FactorMatrix arrays are already device-resident (a caller such as
+  /// refactor::Refactorizer holds a DeviceFactorMatrix across calls), so
+  /// the executor must not allocate/upload its own mirrors.
+  bool device_resident = false;
 };
 
 struct NumericStats {
@@ -60,16 +146,34 @@ struct NumericStats {
 NumericStats factorize_reference(FactorMatrix& m,
                                  const scheduling::LevelSchedule& s);
 
-/// GLU3.0-style dense-window execution on the simulated device.
+/// GLU3.0-style dense-window execution on the simulated device. A non-null
+/// `plan` (matching `s`) supplies cached per-level types/warp efficiencies
+/// instead of recomputing them.
 NumericStats factorize_dense_window(gpusim::Device& device, FactorMatrix& m,
                                     const scheduling::LevelSchedule& s,
-                                    const NumericOptions& opt = {});
+                                    const NumericOptions& opt = {},
+                                    const LevelPlan* plan = nullptr);
 
 /// Sorted-CSC binary-search execution (Algorithm 6) on the simulated
-/// device, with GLU3.0's type-A/B/C kernel mapping per level.
+/// device, with GLU3.0's type-A/B/C kernel mapping per level. `plan` as in
+/// factorize_dense_window.
 NumericStats factorize_sparse_bsearch(gpusim::Device& device, FactorMatrix& m,
                                       const scheduling::LevelSchedule& s,
-                                      const NumericOptions& opt = {});
+                                      const NumericOptions& opt = {},
+                                      const LevelPlan* plan = nullptr);
+
+/// Task-list execution for the refactorization path. Two launches per
+/// level: a div kernel (block per column, L(:,j) /= diag) and a flat
+/// update kernel (block per sub-column, destinations read straight from
+/// the replay plan). Compared to the discovery-mode executors this
+/// removes the element search *and* the per-column type-C launches whose
+/// 1-block grids run the device nearly empty — sub-column grids keep
+/// occupancy up through the narrow tail levels. Assumes `m`'s arrays and
+/// `storage` are already device-resident (the Refactorizer holds both).
+NumericStats factorize_replay(gpusim::Device& device, FactorMatrix& m,
+                              const scheduling::LevelSchedule& s,
+                              const LevelPlan& plan, const ReplayPlan& replay,
+                              DeviceReplayPlan& storage);
 
 /// M = L_free / (n * sizeof(value_t)): the dense-format concurrency cap
 /// (Table 4's "max #blocks" column).

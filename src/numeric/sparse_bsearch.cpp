@@ -2,6 +2,7 @@
 // (§3.4, Algorithm 6) with GLU3.0's type-A/B/C level kernels.
 
 #include <algorithm>
+#include <optional>
 
 #include "gpusim/device_buffer.hpp"
 #include "numeric/column_kernel.hpp"
@@ -25,28 +26,38 @@ NumericStats factorize_reference(FactorMatrix& m,
 
 NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
                                       const scheduling::LevelSchedule& s,
-                                      const NumericOptions& /*opt*/) {
+                                      const NumericOptions& opt,
+                                      const LevelPlan* plan) {
   WallTimer timer;
   NumericStats stats;
   const std::uint64_t ops_before = dev.stats().kernel_ops;
+  if (plan != nullptr) {
+    E2ELU_CHECK_MSG(plan->type.size() ==
+                        static_cast<std::size_t>(s.num_levels()),
+                    "level plan does not match the schedule");
+  }
 
   // Device residency: As in CSC (values + structure), the CSR pattern for
   // sub-column walks, and the position map. All nnz-sized — this is the
-  // point of the sparse format: no O(n)-per-column window.
-  gpusim::DeviceBuffer<offset_t> d_col_ptr(dev, std::span(m.csc.col_ptr));
-  gpusim::DeviceBuffer<index_t> d_row_idx(dev, std::span(m.csc.row_idx));
-  gpusim::DeviceBuffer<value_t> d_values(dev, std::span(m.csc.values));
-  gpusim::DeviceBuffer<offset_t> d_row_ptr(dev, std::span(m.pattern.row_ptr));
-  gpusim::DeviceBuffer<index_t> d_col_idx(dev, std::span(m.pattern.col_idx));
-  gpusim::DeviceBuffer<offset_t> d_map(dev, std::span(m.csr_pos_to_csc));
+  // point of the sparse format: no O(n)-per-column window. A caller that
+  // already holds the arrays resident (the refactorization path) skips
+  // the per-call allocation and upload.
+  std::optional<DeviceFactorMatrix> mirrors;
+  if (!opt.device_resident) mirrors.emplace(dev, m);
 
   for (index_t l = 0; l < s.num_levels(); ++l) {
     const index_t width = s.level_width(l);
-    const double avg_l = detail::mean_l_length(m, s, l);
-    const double avg_sub = detail::mean_sub_columns(m, s, l);
-    const double warp_eff = dev.spec().simt_efficiency(std::max(avg_l, 1.0));
-    const scheduling::LevelType type =
-        scheduling::classify_level(width, avg_sub);
+    double warp_eff;
+    scheduling::LevelType type;
+    if (plan != nullptr) {
+      warp_eff = plan->warp_eff[l];
+      type = plan->type[l];
+    } else {
+      const double avg_l = detail::mean_l_length(m, s, l);
+      warp_eff = dev.spec().simt_efficiency(std::max(avg_l, 1.0));
+      type = scheduling::classify_level(width,
+                                        detail::mean_sub_columns(m, s, l));
+    }
 
     if (type == scheduling::LevelType::C) {
       // Late, narrow levels: one kernel per column, one block per

@@ -1,0 +1,216 @@
+#include "refactor/refactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "preprocess/preprocess.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace e2elu::refactor {
+
+Refactorizer::Refactorizer(const Csr& a, Options options,
+                           RefactorOptions refactor_options)
+    : options_(std::move(options)),
+      ropt_(refactor_options),
+      device_(options_.device) {
+  rebuild(a);
+}
+
+void Refactorizer::rebuild(const Csr& a) {
+  validate(a);
+  base_pattern_ = a;
+  base_pattern_.values.clear();
+
+  SparseLU lu(options_);
+  factors_ = lu.factorize(a, artifacts_);
+  skeleton_ = numeric::FactorMatrix::build_skeleton(artifacts_.filled);
+  plan_ = numeric::build_level_plan(skeleton_, artifacts_.schedule,
+                                    options_.device);
+
+  // Value scatter map: A(i0,j0) lands at B(r,c) = (inv_row[i0],
+  // inv_col[j0]) of the factorized matrix B = P_r A P_c^T, whose pattern
+  // is contained in the cached filled pattern (Theorem 1).
+  const Permutation inv_row = invert_permutation(factors_.row_perm);
+  const Permutation inv_col = invert_permutation(factors_.col_perm);
+  value_map_.resize(static_cast<std::size_t>(a.nnz()));
+  for (index_t i0 = 0; i0 < a.n; ++i0) {
+    const index_t r = inv_row[i0];
+    const auto cols = skeleton_.pattern.row_cols(r);
+    for (offset_t k = a.row_ptr[i0]; k < a.row_ptr[i0 + 1]; ++k) {
+      const index_t c = inv_col[a.col_idx[k]];
+      const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+      E2ELU_CHECK_MSG(it != cols.end() && *it == c,
+                      "filled pattern is missing permuted entry ("
+                          << r << "," << c << ")");
+      value_map_[static_cast<std::size_t>(k)] =
+          skeleton_.csr_pos_to_csc[skeleton_.pattern.row_ptr[r] +
+                                   (it - cols.begin())];
+    }
+  }
+
+  // Replay task list: one host-side build per pattern, amortized over
+  // every subsequent refactorization (the cuSOLVER-rf / NICSLU task-list
+  // trade). The reuse path runs it even when the pipeline chose the dense
+  // window: precomputed destinations deliver the O(1) element access the
+  // window exists to provide, without its per-batch scatter/gather
+  // staging, so the format trade-off that picked dense for the one-shot
+  // run does not apply to a replayed one.
+  replay_ = numeric::build_replay_plan(skeleton_, artifacts_.schedule);
+
+  // Refresh the device-resident structure: release the previous
+  // generation's allocations before charging the new uploads.
+  device_matrix_.reset();
+  device_replay_.reset();
+  device_matrix_.emplace(device_, skeleton_);
+  if (!replay_.empty()) {
+    try {
+      device_replay_.emplace(device_, replay_);
+      // The task array now lives in the DeviceReplayPlan (device or
+      // managed memory); drop the build-side copy.
+      replay_.tasks.clear();
+      replay_.tasks.shrink_to_fit();
+    } catch (const gpusim::OutOfDeviceMemory&) {
+      // Not even the O(fill) per-sub-column arrays fit next to the
+      // resident structure: refactorizations keep the discovery-mode
+      // executor instead.
+      replay_ = {};
+    }
+  }
+}
+
+RefactorReport Refactorizer::fall_back(const Csr& a_new, const char* reason,
+                                       RefactorReport rep,
+                                       bool pattern_rebuild) {
+  rebuild(a_new);
+  rep.reused = false;
+  rep.fell_back = true;
+  rep.fallback_reason = reason;
+  rep.fallback_sim_us = factors_.total_sim_us();
+  rep.device = factors_.device_stats;
+  if (pattern_rebuild) {
+    ++stats_.pattern_rebuilds;
+  } else {
+    ++stats_.stability_fallbacks;
+  }
+  stats_.fallback_sim_us += rep.total_sim_us();
+  stats_.last = rep;
+  return rep;
+}
+
+RefactorReport Refactorizer::refactorize(const Csr& a_new) {
+  ++stats_.calls;
+  RefactorReport rep;
+  validate(a_new);
+
+  if (a_new.n != base_pattern_.n || !same_pattern(a_new, base_pattern_)) {
+    E2ELU_CHECK_MSG(ropt_.on_mismatch == MismatchPolicy::Refactorize,
+                    "refactorize: sparsity pattern differs from the cached "
+                    "factorization (pattern reuse is only valid for "
+                    "value-only changes); construct a new Refactorizer or "
+                    "set MismatchPolicy::Refactorize");
+    return fall_back(a_new, "pattern mismatch", rep, /*pattern_rebuild=*/true);
+  }
+  E2ELU_CHECK_MSG(!a_new.values.empty(), "matrix has no values");
+
+  const gpusim::DeviceStats dev_before = device_.stats();
+
+  // ---- Scatter: new values through the cached permutations into the
+  // cached skeleton, then one values-only upload (structure is resident).
+  WallTimer t_scatter;
+  std::fill(skeleton_.csc.values.begin(), skeleton_.csc.values.end(),
+            value_t{0});
+  double max_abs_a = 0;
+  for (std::size_t k = 0; k < value_map_.size(); ++k) {
+    const value_t v = a_new.values[k];
+    skeleton_.csc.values[value_map_[k]] = v;
+    max_abs_a = std::max(max_abs_a, std::abs(static_cast<double>(v)));
+  }
+  if (options_.diag_patch.has_value()) {
+    for (index_t j = 0; j < a_new.n; ++j) {
+      value_t& d = skeleton_.csc.values[skeleton_.diag_pos[j]];
+      if (d == value_t{0}) d = *options_.diag_patch;
+    }
+  }
+  device_matrix_->upload_values(skeleton_);
+  rep.scatter.ops = static_cast<std::uint64_t>(a_new.nnz());
+  rep.scatter.wall_ms = t_scatter.millis();
+  rep.scatter.sim_us =
+      options_.host.time_us(rep.scatter.ops) +
+      (device_.stats().sim_total_us() - dev_before.sim_total_us());
+
+  // ---- Numeric phase only, on the cached schedule / level plan / format.
+  WallTimer t_num;
+  const double sim_before_num = device_.stats().sim_total_us();
+  numeric::NumericOptions nopt = options_.numeric;
+  nopt.device_resident = true;
+  try {
+    // Task-list replay whenever the plan is resident (see rebuild());
+    // otherwise honor the pipeline's cached format decision.
+    const numeric::NumericStats nstats =
+        device_replay_.has_value()
+            ? numeric::factorize_replay(device_, skeleton_,
+                                        artifacts_.schedule, plan_, replay_,
+                                        *device_replay_)
+        : artifacts_.use_sparse_numeric
+            ? numeric::factorize_sparse_bsearch(device_, skeleton_,
+                                                artifacts_.schedule, nopt,
+                                                &plan_)
+            : numeric::factorize_dense_window(device_, skeleton_,
+                                              artifacts_.schedule, nopt,
+                                              &plan_);
+    rep.numeric.ops = nstats.ops;
+  } catch (const Error&) {
+    // A zero pivot under the cached permutations; the values left in the
+    // skeleton are partial, so the fallback rebuilds everything.
+    if (!ropt_.auto_fallback) throw;
+    return fall_back(a_new, "numeric failure (zero pivot)", rep,
+                     /*pattern_rebuild=*/false);
+  }
+  rep.numeric.sim_us = device_.stats().sim_total_us() - sim_before_num;
+  rep.numeric.wall_ms = t_num.millis();
+
+  // ---- Stability monitor: element growth and smallest pivot of the
+  // static-pivot elimination under the *cached* permutations.
+  double max_abs_as = 0;
+  bool finite = true;
+  for (const value_t v : skeleton_.csc.values) {
+    const double av = std::abs(static_cast<double>(v));
+    finite = finite && std::isfinite(av);
+    max_abs_as = std::max(max_abs_as, av);
+  }
+  double min_pivot = std::numeric_limits<double>::infinity();
+  for (index_t j = 0; j < a_new.n; ++j) {
+    min_pivot = std::min(min_pivot,
+                         std::abs(static_cast<double>(
+                             skeleton_.csc.values[skeleton_.diag_pos[j]])));
+  }
+  rep.pivot_growth = max_abs_a == 0
+                         ? std::numeric_limits<double>::infinity()
+                         : max_abs_as / max_abs_a;
+  rep.min_pivot = min_pivot;
+  const bool unstable = !finite ||
+                        rep.pivot_growth > ropt_.max_pivot_growth ||
+                        min_pivot < ropt_.min_pivot_ratio * max_abs_a;
+  if (unstable) {
+    E2ELU_CHECK_MSG(ropt_.auto_fallback,
+                    "refactorize: stability monitor tripped (pivot growth "
+                        << rep.pivot_growth << ", smallest pivot "
+                        << min_pivot
+                        << ") and auto_fallback is disabled");
+    return fall_back(a_new, "stability monitor", rep,
+                     /*pattern_rebuild=*/false);
+  }
+
+  numeric::extract_lu(skeleton_, factors_.l, factors_.u);
+  factors_.numeric = rep.numeric;
+  rep.reused = true;
+  rep.device = device_.stats().since(dev_before);
+  ++stats_.reused;
+  stats_.reused_sim_us += rep.total_sim_us();
+  stats_.last = rep;
+  return rep;
+}
+
+}  // namespace e2elu::refactor

@@ -1,0 +1,133 @@
+// Refactorization engine: pattern-reuse numeric re-factorization for
+// sequences of matrices whose values change but whose sparsity pattern
+// does not — the paper's motivating SPICE workload (one Newton/transient
+// step per matrix) and GLU3.0's core re-factorization mode.
+//
+// A Refactorizer is constructed from one full SparseLU::factorize run and
+// caches everything value-independent: the row/column permutations, the
+// filled L+U pattern with its CSR/CSC skeleton and position maps, the
+// level schedule with its A/B/C classification and warp efficiencies, the
+// numeric-format decision, and the device-resident structure buffers.
+// refactorize(a_new) then validates that a_new's pattern matches, scatters
+// the new values through the cached permutations into the cached skeleton,
+// re-uploads only the values array, and re-runs *only* the numeric phase —
+// no preprocessing search, no symbolic factorization, no levelization.
+//
+// The reuse path also carries a replay plan (cuSOLVER-rf / NICSLU style):
+// the exact destination of every sub-column update, resolved host-side
+// once per pattern. With positions precomputed, the numeric phase needs
+// neither the dense scatter window nor Algorithm 6's binary search — each
+// level runs a div kernel plus one flat grid of sub-column update blocks
+// (see numeric::factorize_replay), so the engine always prefers it over
+// the cached one-shot format decision. The O(flops) task array lives in
+// device memory when it fits and in unified (managed) memory otherwise;
+// only when even the O(fill) per-sub-column arrays cannot fit does the
+// engine drop back to the discovery-mode executor.
+//
+// Static-pivot safety: the cached permutations were chosen for the
+// original values, so each refactorization is monitored (pivot growth,
+// smallest pivot). Past the configured thresholds — or on a numeric
+// failure such as an exactly zero pivot — the engine falls back to a
+// fresh end-to-end factorization of the new matrix and refreshes every
+// cache, reporting the event in RefactorReport/RefactorStats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/sparse_lu.hpp"
+#include "numeric/numeric.hpp"
+
+namespace e2elu::refactor {
+
+/// What refactorize() does when the new matrix's sparsity pattern differs
+/// from the cached one.
+enum class MismatchPolicy {
+  Throw,        ///< reject with an error (treat as a caller bug)
+  Refactorize,  ///< transparently run a fresh full factorization
+};
+
+struct RefactorOptions {
+  /// Fall back when max|As| over the factorized matrix exceeds this many
+  /// times max|A| of the input (element growth of the static-pivot
+  /// elimination).
+  double max_pivot_growth = 1e8;
+  /// Fall back when the smallest |U(j,j)| drops below this times max|A|.
+  double min_pivot_ratio = 1e-12;
+  /// When false, a stability violation (or numeric failure) throws
+  /// instead of silently re-running the full pipeline.
+  bool auto_fallback = true;
+  MismatchPolicy on_mismatch = MismatchPolicy::Throw;
+};
+
+/// Outcome of one refactorize() call.
+struct RefactorReport {
+  bool reused = false;     ///< the numeric-only path completed and was kept
+  bool fell_back = false;  ///< a full end-to-end factorization ran instead
+  const char* fallback_reason = "";
+  double pivot_growth = 0;  ///< max|As_factored| / max|A_input|
+  double min_pivot = 0;     ///< smallest |U(j,j)| of the reuse attempt
+  PhaseReport scatter;      ///< permuted value scatter + device upload
+  PhaseReport numeric;      ///< the re-run numeric phase
+  double fallback_sim_us = 0;      ///< full-pipeline time when fell_back
+  gpusim::DeviceStats device;      ///< this call's device-counter deltas
+  double total_sim_us() const {
+    return scatter.sim_us + numeric.sim_us + fallback_sim_us;
+  }
+};
+
+/// Aggregates over the life of one Refactorizer.
+struct RefactorStats {
+  std::uint64_t calls = 0;
+  std::uint64_t reused = 0;               ///< numeric-only successes
+  std::uint64_t stability_fallbacks = 0;  ///< pivot monitor / numeric failure
+  std::uint64_t pattern_rebuilds = 0;     ///< mismatch-triggered refreshes
+  double reused_sim_us = 0;    ///< total simulated time on the reuse path
+  double fallback_sim_us = 0;  ///< total simulated time in fallbacks
+  RefactorReport last;
+};
+
+class Refactorizer {
+ public:
+  /// Runs one full factorization of `a` (building the cache) with
+  /// SparseLU under `options`.
+  explicit Refactorizer(const Csr& a, Options options = {},
+                        RefactorOptions refactor_options = {});
+
+  /// Re-factorizes a same-pattern matrix through the cached pipeline
+  /// state. On fallback (stability or, under MismatchPolicy::Refactorize,
+  /// a pattern change) the cache is refreshed from a_new.
+  RefactorReport refactorize(const Csr& a_new);
+
+  /// The current factors; updated in place by every refactorize() call,
+  /// so solvers bound to this object stay valid while the pattern holds.
+  const FactorResult& factors() const { return factors_; }
+  const RefactorStats& stats() const { return stats_; }
+  /// The long-lived device holding the cached structure buffers; its
+  /// counters accumulate over all refactorize() calls.
+  gpusim::Device& device() { return device_; }
+
+ private:
+  void rebuild(const Csr& a);
+  RefactorReport fall_back(const Csr& a_new, const char* reason,
+                           RefactorReport rep, bool pattern_rebuild);
+
+  Options options_;
+  RefactorOptions ropt_;
+  gpusim::Device device_;
+
+  Csr base_pattern_;  ///< input pattern the cache was built for (no values)
+  FactorResult factors_;
+  FactorizationArtifacts artifacts_;
+  numeric::FactorMatrix skeleton_;
+  numeric::LevelPlan plan_;
+  numeric::ReplayPlan replay_;
+  /// a.values position -> cached CSC position, through the permutations.
+  std::vector<offset_t> value_map_;
+  std::optional<numeric::DeviceFactorMatrix> device_matrix_;
+  std::optional<numeric::DeviceReplayPlan> device_replay_;
+  RefactorStats stats_;
+};
+
+}  // namespace e2elu::refactor

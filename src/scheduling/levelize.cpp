@@ -291,4 +291,23 @@ LevelType classify_level(index_t width, double avg_sub_columns) {
   return LevelType::B;
 }
 
+std::vector<LevelType> classify_schedule(const LevelSchedule& s,
+                                         const Csr& filled) {
+  std::vector<LevelType> types(static_cast<std::size_t>(s.num_levels()));
+  for (index_t l = 0; l < s.num_levels(); ++l) {
+    std::uint64_t total_sub = 0;
+    for (index_t k = s.level_ptr[l]; k < s.level_ptr[l + 1]; ++k) {
+      const index_t j = s.level_cols[k];
+      // Sub-columns of j = strictly-upper entries of filled row j.
+      const auto cols = filled.row_cols(j);
+      const auto it = std::upper_bound(cols.begin(), cols.end(), j);
+      total_sub += static_cast<std::uint64_t>(cols.end() - it);
+    }
+    const index_t width = s.level_width(l);
+    types[l] = classify_level(
+        width, width == 0 ? 0.0 : static_cast<double>(total_sub) / width);
+  }
+  return types;
+}
+
 }  // namespace e2elu::scheduling

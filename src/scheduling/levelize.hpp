@@ -95,4 +95,11 @@ enum class LevelType { A, B, C };
 /// Classifies one level from its width and mean sub-column count.
 LevelType classify_level(index_t width, double avg_sub_columns);
 
+/// Classifies every level of a schedule against the filled pattern (the
+/// mean sub-column count of level l is the mean strictly-upper row length
+/// over its columns). Pattern-only, so re-factorizations of a matrix with
+/// unchanged structure can compute this once and reuse it.
+std::vector<LevelType> classify_schedule(const LevelSchedule& s,
+                                         const Csr& filled);
+
 }  // namespace e2elu::scheduling

@@ -24,6 +24,17 @@ class PipelineSolver {
       : factorization_(&factorization),
         lu_(device, factorization.l, factorization.u) {}
 
+  /// Rebinds to updated factors with the same pattern — e.g. after a
+  /// refactor::Refactorizer::refactorize — without rebuilding the level
+  /// schedules. The new FactorResult must outlive the solver. Throws (and
+  /// leaves the solver on the old factors) if the patterns differ.
+  void rebind(const FactorResult& factorization) {
+    E2ELU_CHECK_MSG(factorization.n == factorization_->n,
+                    "rebind: factorization order differs");
+    lu_.rebind(factorization.l, factorization.u);
+    factorization_ = &factorization;
+  }
+
   /// Solves A x = b on the device (two level-parallel triangular sweeps).
   std::vector<value_t> solve(std::span<const value_t> b) const {
     const FactorResult& f = *factorization_;

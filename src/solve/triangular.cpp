@@ -56,6 +56,14 @@ TriangularSolver::TriangularSolver(gpusim::Device& device, const Csr& factor,
   warp_eff_ = device.spec().simt_efficiency(factor.nnz_per_row());
 }
 
+void TriangularSolver::rebind(const Csr& factor) {
+  E2ELU_CHECK_MSG(same_pattern(*factor_, factor),
+                  "rebind: factor pattern differs from the one this solver "
+                  "was levelized for; build a new solver");
+  E2ELU_CHECK_MSG(!factor.values.empty(), "rebind: factor has no values");
+  factor_ = &factor;
+}
+
 void TriangularSolver::solve(std::vector<value_t>& x) const {
   E2ELU_CHECK(x.size() == static_cast<std::size_t>(factor_->n));
   const Csr& f = *factor_;
@@ -87,6 +95,17 @@ void TriangularSolver::solve(std::vector<value_t>& x) const {
 
 LuSolver::LuSolver(gpusim::Device& device, const Csr& l, const Csr& u)
     : lower_(device, l, /*lower=*/true), upper_(device, u, /*lower=*/false) {}
+
+void LuSolver::rebind(const Csr& l, const Csr& u) {
+  // Validate both before swapping either, so a failed rebind leaves the
+  // solver consistently bound to the old factors.
+  E2ELU_CHECK_MSG(same_pattern(lower_.factor(), l),
+                  "rebind: L pattern differs from the levelized factor");
+  E2ELU_CHECK_MSG(same_pattern(upper_.factor(), u),
+                  "rebind: U pattern differs from the levelized factor");
+  lower_.rebind(l);
+  upper_.rebind(u);
+}
 
 std::vector<value_t> LuSolver::solve(std::span<const value_t> b) const {
   std::vector<value_t> x(b.begin(), b.end());

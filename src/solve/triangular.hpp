@@ -33,6 +33,14 @@ class TriangularSolver {
   /// Solves in place: x holds b on entry, the solution on return.
   void solve(std::vector<value_t>& x) const;
 
+  /// Rebinds to a factor with the identical pattern but updated values
+  /// (a re-factorization): the cached level schedule and diagonal
+  /// positions stay valid, so nothing is recomputed. Throws if the
+  /// pattern differs. The factor must outlive the solver.
+  void rebind(const Csr& factor);
+
+  const Csr& factor() const { return *factor_; }
+
   index_t num_levels() const { return schedule_.num_levels(); }
   /// Work items performed by this solver's kernels, summed over all
   /// solve() calls.
@@ -55,6 +63,10 @@ class LuSolver {
 
   /// Solves L U x = b.
   std::vector<value_t> solve(std::span<const value_t> b) const;
+
+  /// Rebinds both factors to same-pattern replacements without rebuilding
+  /// the level schedules. Validates both patterns before swapping either.
+  void rebind(const Csr& l, const Csr& u);
 
   const TriangularSolver& lower() const { return lower_; }
   const TriangularSolver& upper() const { return upper_; }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "core/sparse_lu.hpp"
@@ -28,6 +30,21 @@ std::vector<value_t> rhs(index_t n, std::uint64_t seed) {
   return b;
 }
 
+// Elementwise relative comparison for factor values. The two GPU modes
+// run identical update formulas but may order the sub-column reductions
+// differently (chunk boundaries differ), so bitwise equality is too
+// strict on matrices where a column receives many updates.
+void expect_values_close(const std::vector<value_t>& a,
+                         const std::vector<value_t>& b, const char* what,
+                         double rel_tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double scale =
+        std::max({std::abs(a[k]), std::abs(b[k]), 1.0});
+    ASSERT_NEAR(a[k], b[k], rel_tol * scale) << what << " at position " << k;
+  }
+}
+
 // One test per Table 2 matrix at divisor 512 (n ~ 64-1400): the suite the
 // benchmarks run must be factorizable and solvable end-to-end.
 class SuitePipeline : public ::testing::TestWithParam<int> {};
@@ -43,7 +60,7 @@ TEST_P(SuitePipeline, FactorizesAndSolvesInBothGpuModes) {
   const FactorResult f1 = SparseLU(ooc).factorize(e.matrix);
   const FactorResult f2 = SparseLU(dyn).factorize(e.matrix);
   EXPECT_EQ(f1.fill_nnz, f2.fill_nnz) << e.abbr;
-  EXPECT_EQ(f1.u.values, f2.u.values) << e.abbr;
+  expect_values_close(f1.u.values, f2.u.values, e.abbr.c_str());
 
   const std::vector<value_t> b = rhs(e.matrix.n, 17);
   EXPECT_LT(SparseLU::residual(e.matrix, SparseLU::solve(f1, b), b), 1e-8)
@@ -114,7 +131,7 @@ TEST(Integration, AutoFormatAndManualFormatsAgreeOnTable4Sample) {
   Options dense = opt;
   dense.numeric_format = NumericFormat::DenseWindow;
   const FactorResult fd = SparseLU(dense).factorize(a);
-  EXPECT_EQ(fa.u.values, fd.u.values);
+  expect_values_close(fa.u.values, fd.u.values, "table4 sample");
 }
 
 TEST(Integration, DeviceMemorySizingKeepsSuiteOutOfCore) {
