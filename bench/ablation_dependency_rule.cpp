@@ -18,6 +18,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   std::printf("=== Ablation: symmetrized vs exact double-U dependency "
               "detection ===\n");
   std::printf("%-5s %7s | %9s %7s %7s | %9s %7s %7s | %9s\n", "abbr", "n",

@@ -17,6 +17,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 64;
   std::printf("=== Ablation: dynamic-assignment threshold fraction and "
               "queue margin (pre2 stand-in) ===\n");

@@ -8,14 +8,42 @@
 #pragma once
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 
+#include "analysis/report.hpp"
 #include "core/sparse_lu.hpp"
 #include "matrix/suite.hpp"
 #include "preprocess/preprocess.hpp"
 #include "symbolic/symbolic.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::bench {
+
+/// Declared first in every bench main: picks up E2ELU_TRACE /
+/// E2ELU_METRICS / E2ELU_TRACE_SUMMARY and writes the artifacts when main
+/// returns, announcing the paths on stderr. (The tracer's own atexit hook
+/// would also write them; this makes the write deterministic at
+/// end-of-main and visible in the bench output.)
+struct TraceSession {
+  TraceSession() { trace::Tracer::instance().configure_from_env(); }
+  ~TraceSession() {
+    for (const std::string& path :
+         trace::Tracer::instance().write_artifacts()) {
+      std::fprintf(stderr, "[trace] wrote %s\n", path.c_str());
+    }
+  }
+};
+
+/// Shared one-line device-counter dump (see analysis::print): benches
+/// print deltas and totals through this instead of hand-rolling printf
+/// field lists.
+inline void print_device_stats(const char* label,
+                               const gpusim::DeviceStats& s) {
+  std::cout << label << " ";
+  analysis::print(std::cout, s);
+  std::cout.flush();
+}
 
 /// Builds a device spec with per-event overheads scaled to the suite's
 /// matrix scale-down. Traversal work shrinks ~quadratically with the

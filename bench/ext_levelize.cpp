@@ -17,6 +17,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 64;
   std::printf("=== Extension: GPU levelization, dynamic parallelism "
               "(Alg. 5) vs host-launched ===\n");

@@ -36,6 +36,7 @@ std::vector<value_t> rhs(index_t n, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 64;  // the standard Table 2 bench divisor
   constexpr int kSteps = 50;
   // The circuit-structure rows of Table 2 (onetone/rajat/pre2/g7jac
@@ -102,6 +103,7 @@ int main() {
                 refact_sim / kSteps, 100.0 * ratio, full_res, refact_res,
                 static_cast<unsigned long long>(fallbacks));
     std::fflush(stdout);
+    bench::print_device_stats("  sequence", refac.device().stats());
   }
   bench::print_rule(104);
   std::printf("worst refactorize/full sim-time ratio: %.1f%% (target < 50%%) "

@@ -54,6 +54,7 @@ void profile(const char* label, const Csr& raw) {
 }  // namespace
 
 int main() {
+  bench::TraceSession trace_session;
   std::printf("=== Figure 3: frontier size per out-of-core iteration ===\n\n");
   auto suite = table2_suite();
   for (const SuiteEntry& e : suite) {

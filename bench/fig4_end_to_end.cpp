@@ -17,6 +17,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   std::printf("=== Figure 4: out-of-core GPU vs modified GLU3.0 "
               "(scaled Table 2 suite) ===\n");
   std::printf("%-5s %7s %6s | %10s %10s | %10s %10s | %8s %8s %8s\n", "abbr",

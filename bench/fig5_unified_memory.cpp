@@ -15,6 +15,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 16;
   std::printf("=== Figure 5: out-of-core vs unified memory w/ prefetch "
               "(7 smallest matrices) ===\n");

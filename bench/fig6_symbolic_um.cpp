@@ -14,6 +14,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 16;
   std::printf("=== Figure 6: symbolic phase, ooc vs um+prefetch vs um ===\n");
   std::printf("%-5s %6s %6s | %9s %9s %9s | %9s %9s\n", "abbr", "n", "nnz/n",

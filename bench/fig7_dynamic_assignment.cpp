@@ -18,6 +18,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 64;
   std::printf("=== Figure 7: dynamic parallelism assignment vs naive "
               "out-of-core symbolic ===\n");

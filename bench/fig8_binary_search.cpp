@@ -19,6 +19,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 64;
   std::printf("=== Figure 8: binary-search (sparse) vs dense-format "
               "numeric factorization ===\n");

@@ -15,6 +15,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   constexpr index_t kScale = 16;
   std::printf("=== Table 3: page-fault groups and fault-service time ===\n");
   std::printf("%-5s | %12s %12s | %11s %11s | %10s\n", "abbr",

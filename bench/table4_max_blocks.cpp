@@ -15,6 +15,7 @@
 using namespace e2elu;
 
 int main() {
+  bench::TraceSession trace_session;
   std::printf("=== Table 4: dense-format resident-column cap ===\n\n");
   std::printf("paper arithmetic (16 GB device, 8-byte values, TB_max=160):\n");
   std::printf("%-18s %12s %12s %12s %8s\n", "matrix", "order", "nnz",

@@ -71,6 +71,8 @@ int main(int argc, char** argv) {
   std::printf("simulated time: symbolic %.0fus, levelize %.0fus, numeric "
               "%.0fus\n", f.symbolic.sim_us, f.levelize.sim_us,
               f.numeric.sim_us);
+  std::fflush(stdout);
+  analysis::print(std::cout, f.device_stats);
 
   Rng rng(11);
   std::vector<value_t> b(static_cast<std::size_t>(a.n));

@@ -8,7 +8,9 @@
 // unified-memory alternative with its page-fault bill.
 
 #include <cstdio>
+#include <iostream>
 
+#include "analysis/report.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/device_buffer.hpp"
 #include "matrix/generators.hpp"
@@ -58,10 +60,9 @@ int main() {
   gpusim::Device dev_um(dev.spec());
   const symbolic::SymbolicResult um =
       symbolic::symbolic_unified_memory(dev_um, a, /*prefetch=*/true);
-  std::printf("(4) unified memory: identical pattern=%s, %llu fault groups, "
-              "%.1f%% of time servicing faults, %.0fus simulated\n",
-              same_pattern(ooc.filled, um.filled) ? "yes" : "NO",
-              static_cast<unsigned long long>(dev_um.stats().page_fault_groups),
-              dev_um.stats().fault_time_pct(), dev_um.stats().sim_total_us());
+  std::printf("(4) unified memory: identical pattern=%s\n",
+              same_pattern(ooc.filled, um.filled) ? "yes" : "NO");
+  std::fflush(stdout);
+  analysis::print(std::cout, dev_um.stats());
   return 0;
 }

@@ -4,8 +4,10 @@
 //   cmake --build build && ./build/examples/quickstart
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
+#include "analysis/report.hpp"
 #include "core/sparse_lu.hpp"
 #include "matrix/generators.hpp"
 
@@ -31,6 +33,8 @@ int main() {
               "symbolic=%.0f levelize=%.0f numeric=%.0f\n",
               f.preprocess.sim_us, f.symbolic.sim_us, f.levelize.sim_us,
               f.numeric.sim_us);
+  std::fflush(stdout);
+  analysis::print(std::cout, f.device_stats);
 
   // Solve against a known solution.
   std::vector<value_t> x_true(static_cast<std::size_t>(f.n));

@@ -104,6 +104,17 @@ void print(std::ostream& os, const ScheduleReport& r) {
      << "% of columns in device-saturating levels\n";
 }
 
+void print(std::ostream& os, const gpusim::DeviceStats& s) {
+  os << "device: " << s.sim_total_us() << " us simulated (kernel "
+     << s.sim_kernel_us << ", launch " << s.sim_launch_us << ", transfer "
+     << s.sim_transfer_us << ", fault " << s.sim_fault_us << "); launches "
+     << s.host_launches << " host + " << s.device_launches << " device; ops "
+     << s.kernel_ops << "; h2d " << (s.h2d_bytes >> 10) << " KiB, d2h "
+     << (s.d2h_bytes >> 10) << " KiB, prefetch " << (s.prefetch_bytes >> 10)
+     << " KiB; " << s.page_faults << " faults in " << s.page_fault_groups
+     << " groups (" << s.fault_time_pct() << "% of time)\n";
+}
+
 void print(std::ostream& os, const MemoryPlan& r) {
   os << "memory plan: device " << (r.device_bytes >> 20)
      << " MiB; symbolic scratch " << (r.symbolic_scratch_per_row >> 10)

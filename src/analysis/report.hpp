@@ -13,6 +13,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "gpusim/device.hpp"
 #include "gpusim/spec.hpp"
 #include "matrix/csr.hpp"
 #include "scheduling/levelize.hpp"
@@ -77,5 +78,9 @@ MemoryPlan plan_memory(const Csr& a, offset_t fill_nnz_estimate,
 void print(std::ostream& os, const FillReport& r);
 void print(std::ostream& os, const ScheduleReport& r);
 void print(std::ostream& os, const MemoryPlan& r);
+/// One-line device-counter summary: the simulated-time split plus the raw
+/// launch/transfer/fault counters. Works on a whole run (Device::stats())
+/// or on a per-phase delta (DeviceStats::since()).
+void print(std::ostream& os, const gpusim::DeviceStats& s);
 
 }  // namespace e2elu::analysis

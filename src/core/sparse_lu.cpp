@@ -7,6 +7,7 @@
 #include "matrix/convert.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu {
 
@@ -18,6 +19,17 @@ Permutation identity_permutation(index_t n) {
   Permutation p(static_cast<std::size_t>(n));
   std::iota(p.begin(), p.end(), 0);
   return p;
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::OutOfCoreGpu: return "out_of_core";
+    case Mode::OutOfCoreGpuDynamic: return "out_of_core_dynamic";
+    case Mode::UnifiedMemoryGpu: return "unified_memory";
+    case Mode::UnifiedMemoryGpuNoPrefetch: return "unified_memory_no_prefetch";
+    case Mode::CpuBaseline: return "cpu_baseline";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -41,31 +53,37 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   FactorResult res;
   res.n = a_in.n;
   const index_t n = a_in.n;
+  trace::Span span_root("factorize", dev,
+                        {{"n", n},
+                         {"nnz", a_in.nnz()},
+                         {"mode", mode_name(options_.mode)}});
 
   // ---- Pre-processing (Figure 2, first box; host-side as in the paper).
   WallTimer t_pre;
   Csr a = a_in;
   res.row_perm = identity_permutation(n);
   res.col_perm = identity_permutation(n);
-
-  if (options_.match_diagonal && !has_full_diagonal(a)) {
-    const Permutation q = diagonal_matching(a);
-    a = permute(a, res.row_perm, q);
-    res.col_perm = q;
-  }
-  if (options_.ordering != Ordering::None) {
-    const Permutation p = options_.ordering == Ordering::Rcm
-                              ? rcm_ordering(a)
-                              : min_degree_ordering(a);
-    a = permute(a, p, p);
-    // a(i,j) = a_in(p[i], col_perm[p[j]]).
-    Permutation composed(static_cast<std::size_t>(n));
-    for (index_t k = 0; k < n; ++k) composed[k] = res.col_perm[p[k]];
-    res.row_perm = p;
-    res.col_perm = std::move(composed);
-  }
-  if (options_.diag_patch.has_value()) {
-    patch_zero_diagonal(a, *options_.diag_patch);
+  {
+    TRACE_SPAN("preprocess", dev);
+    if (options_.match_diagonal && !has_full_diagonal(a)) {
+      const Permutation q = diagonal_matching(a);
+      a = permute(a, res.row_perm, q);
+      res.col_perm = q;
+    }
+    if (options_.ordering != Ordering::None) {
+      const Permutation p = options_.ordering == Ordering::Rcm
+                                ? rcm_ordering(a)
+                                : min_degree_ordering(a);
+      a = permute(a, p, p);
+      // a(i,j) = a_in(p[i], col_perm[p[j]]).
+      Permutation composed(static_cast<std::size_t>(n));
+      for (index_t k = 0; k < n; ++k) composed[k] = res.col_perm[p[k]];
+      res.row_perm = p;
+      res.col_perm = std::move(composed);
+    }
+    if (options_.diag_patch.has_value()) {
+      patch_zero_diagonal(a, *options_.diag_patch);
+    }
   }
   res.preprocess.wall_ms = t_pre.millis();
   res.preprocess.ops = static_cast<std::uint64_t>(a.nnz());
@@ -75,29 +93,34 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   WallTimer t_sym;
   double sim_before = dev.stats().sim_total_us();
   symbolic::SymbolicResult sym;
-  switch (options_.mode) {
-    case Mode::OutOfCoreGpu:
-      sym = symbolic::symbolic_out_of_core(dev, a, options_.symbolic);
-      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-      break;
-    case Mode::OutOfCoreGpuDynamic:
-      sym = symbolic::symbolic_out_of_core_dynamic(dev, a, options_.symbolic);
-      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-      break;
-    case Mode::UnifiedMemoryGpu:
-      sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/true,
-                                              options_.symbolic);
-      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-      break;
-    case Mode::UnifiedMemoryGpuNoPrefetch:
-      sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/false,
-                                              options_.symbolic);
-      res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-      break;
-    case Mode::CpuBaseline:
-      sym = symbolic::symbolic_cpu(a);
-      res.symbolic.sim_us = options_.host.time_us(sym.ops);
-      break;
+  {
+    trace::Span span_sym("symbolic", dev, {{"mode", mode_name(options_.mode)}});
+    switch (options_.mode) {
+      case Mode::OutOfCoreGpu:
+        sym = symbolic::symbolic_out_of_core(dev, a, options_.symbolic);
+        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+        break;
+      case Mode::OutOfCoreGpuDynamic:
+        sym = symbolic::symbolic_out_of_core_dynamic(dev, a, options_.symbolic);
+        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+        break;
+      case Mode::UnifiedMemoryGpu:
+        sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/true,
+                                                options_.symbolic);
+        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+        break;
+      case Mode::UnifiedMemoryGpuNoPrefetch:
+        sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/false,
+                                                options_.symbolic);
+        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+        break;
+      case Mode::CpuBaseline:
+        sym = symbolic::symbolic_cpu(a);
+        res.symbolic.sim_us = options_.host.time_us(sym.ops);
+        break;
+    }
+    span_sym.attr("chunks", sym.num_chunks);
+    span_sym.attr("fill_nnz", sym.filled.nnz());
   }
   res.symbolic.wall_ms = t_sym.millis();
   res.symbolic.ops = sym.ops;
@@ -107,33 +130,38 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   // ---- Levelization (§3.3).
   WallTimer t_lvl;
   sim_before = dev.stats().sim_total_us();
-  const scheduling::DependencyGraph graph = scheduling::build_dependency_graph(
-      sym.filled, options_.dependency_rule);
   scheduling::LevelSchedule schedule;
-  if (options_.mode == Mode::CpuBaseline) {
-    schedule = scheduling::levelize_sequential(graph);
-    res.levelize.ops =
-        static_cast<std::uint64_t>(graph.n) +
-        static_cast<std::uint64_t>(graph.num_edges());
-    // Previous work runs levelization single-threaded on the host.
-    res.levelize.sim_us = static_cast<double>(res.levelize.ops) /
-                          options_.host.ops_per_us_per_thread;
-  } else {
-    // cons_graph (Algorithm 5 line 14): the dependency graph is built
-    // on-device from the filled pattern.
-    dev.launch({.name = "cons_graph",
-                .blocks = std::max<index_t>(1, (n + 255) / 256),
-                .threads_per_block = 256},
-               [&](std::int64_t b, gpusim::KernelContext& ctx) {
-                 const index_t lo = static_cast<index_t>(b) * 256;
-                 const index_t hi = std::min(n, lo + 256);
-                 ctx.add_ops(static_cast<std::uint64_t>(
-                     graph.adj_ptr[hi] - graph.adj_ptr[lo]));
-               });
-    const std::uint64_t ops_before_lvl = dev.stats().kernel_ops;
-    schedule = scheduling::levelize_gpu_dynamic(dev, graph);
-    res.levelize.ops = dev.stats().kernel_ops - ops_before_lvl;
-    res.levelize.sim_us = dev.stats().sim_total_us() - sim_before;
+  {
+    trace::Span span_lvl("levelize", dev);
+    const scheduling::DependencyGraph graph =
+        scheduling::build_dependency_graph(sym.filled,
+                                           options_.dependency_rule);
+    if (options_.mode == Mode::CpuBaseline) {
+      schedule = scheduling::levelize_sequential(graph);
+      res.levelize.ops =
+          static_cast<std::uint64_t>(graph.n) +
+          static_cast<std::uint64_t>(graph.num_edges());
+      // Previous work runs levelization single-threaded on the host.
+      res.levelize.sim_us = static_cast<double>(res.levelize.ops) /
+                            options_.host.ops_per_us_per_thread;
+    } else {
+      // cons_graph (Algorithm 5 line 14): the dependency graph is built
+      // on-device from the filled pattern.
+      dev.launch({.name = "cons_graph",
+                  .blocks = std::max<index_t>(1, (n + 255) / 256),
+                  .threads_per_block = 256},
+                 [&](std::int64_t b, gpusim::KernelContext& ctx) {
+                   const index_t lo = static_cast<index_t>(b) * 256;
+                   const index_t hi = std::min(n, lo + 256);
+                   ctx.add_ops(static_cast<std::uint64_t>(
+                       graph.adj_ptr[hi] - graph.adj_ptr[lo]));
+                 });
+      const std::uint64_t ops_before_lvl = dev.stats().kernel_ops;
+      schedule = scheduling::levelize_gpu_dynamic(dev, graph);
+      res.levelize.ops = dev.stats().kernel_ops - ops_before_lvl;
+      res.levelize.sim_us = dev.stats().sim_total_us() - sim_before;
+    }
+    span_lvl.attr("levels", schedule.num_levels());
   }
   res.levelize.wall_ms = t_lvl.millis();
   res.num_levels = schedule.num_levels();
@@ -141,7 +169,10 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   // ---- Numeric factorization (§3.4).
   WallTimer t_num;
   sim_before = dev.stats().sim_total_us();
-  numeric::FactorMatrix fm = numeric::FactorMatrix::build(sym.filled, a);
+  numeric::FactorMatrix fm = [&] {
+    TRACE_SPAN("numeric.build", dev);
+    return numeric::FactorMatrix::build(sym.filled, a);
+  }();
   bool use_sparse;
   switch (options_.numeric_format) {
     case NumericFormat::DenseWindow:
@@ -156,17 +187,25 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
       break;
   }
   res.used_sparse_numeric = use_sparse;
-  const numeric::NumericStats nstats =
-      use_sparse
-          ? numeric::factorize_sparse_bsearch(dev, fm, schedule,
-                                              options_.numeric)
-          : numeric::factorize_dense_window(dev, fm, schedule,
-                                            options_.numeric);
-  res.numeric.ops = nstats.ops;
+  {
+    trace::Span span_num("numeric", dev,
+                         {{"format", use_sparse ? "sparse" : "dense"},
+                          {"levels", schedule.num_levels()}});
+    const numeric::NumericStats nstats =
+        use_sparse
+            ? numeric::factorize_sparse_bsearch(dev, fm, schedule,
+                                                options_.numeric)
+            : numeric::factorize_dense_window(dev, fm, schedule,
+                                              options_.numeric);
+    res.numeric.ops = nstats.ops;
+  }
   res.numeric.sim_us = dev.stats().sim_total_us() - sim_before;
   res.numeric.wall_ms = t_num.millis();
 
-  numeric::extract_lu(fm, res.l, res.u);
+  {
+    TRACE_SPAN("extract_lu", dev);
+    numeric::extract_lu(fm, res.l, res.u);
+  }
   res.device_stats = dev.stats();
   if (artifacts != nullptr) {
     artifacts->filled = std::move(sym.filled);

@@ -109,7 +109,14 @@ class Device {
 
   const DeviceSpec& spec() const { return spec_; }
   const DeviceStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DeviceStats{}; }
+
+  /// Copy of the current counters, as a baseline for since()-based
+  /// per-phase deltas. Counters are monotonic for the device's lifetime —
+  /// there is deliberately no reset: nested consumers (tracer spans,
+  /// Refactorizer reports, SparseLU phase accounting) each hold their own
+  /// baseline snapshot, so none can clobber another's accounting the way
+  /// a mid-pipeline reset would.
+  DeviceStats snapshot() const { return stats_; }
 
   /// Bytes currently allocated on the device.
   std::size_t allocated_bytes() const {

@@ -16,6 +16,7 @@
 #include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::numeric {
 
@@ -219,6 +220,12 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
       level_type = scheduling::classify_level(
           s.level_width(l), detail::mean_sub_columns(m, s, l));
     }
+    TRACE_SPAN("numeric.level", dev,
+               {{"level", l},
+                {"width", s.level_width(l)},
+                {"type", scheduling::level_type_name(level_type)},
+                {"format", "dense"},
+                {"window", window}});
     Batch batch;
     for (index_t k = s.level_ptr[l]; k < s.level_ptr[l + 1]; ++k) {
       const index_t j = s.level_cols[k];

@@ -18,6 +18,7 @@
 #include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::numeric {
 
@@ -115,6 +116,12 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
 
   for (index_t l = 0; l < s.num_levels(); ++l) {
     const double warp_eff = plan.warp_eff[l];
+    TRACE_SPAN("numeric.level", dev,
+               {{"level", l},
+                {"width", s.level_width(l)},
+                {"type", scheduling::level_type_name(plan.type[l])},
+                {"format", "replay"},
+                {"unified_tasks", unified ? 1 : 0}});
     dev.launch({.name = "replay_div",
                 .blocks = s.level_width(l),
                 .threads_per_block = 256,

@@ -8,6 +8,7 @@
 #include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::numeric {
 
@@ -58,6 +59,11 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
       type = scheduling::classify_level(width,
                                         detail::mean_sub_columns(m, s, l));
     }
+    TRACE_SPAN("numeric.level", dev,
+               {{"level", l},
+                {"width", width},
+                {"type", scheduling::level_type_name(type)},
+                {"format", "sparse"}});
 
     if (type == scheduling::LevelType::C) {
       // Late, narrow levels: one kernel per column, one block per

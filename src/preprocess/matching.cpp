@@ -12,6 +12,7 @@
 
 #include "preprocess/preprocess.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu {
 
@@ -35,6 +36,7 @@ bool augment(const Csr& a, index_t i, std::vector<index_t>& col_to_row,
 }  // namespace
 
 Permutation diagonal_matching(const Csr& a) {
+  TRACE_SPAN("preprocess.matching", {{"n", a.n}, {"nnz", a.nnz()}});
   std::vector<index_t> col_to_row(a.n, -1);
   std::vector<index_t> row_matched(a.n, 0);
 

@@ -8,6 +8,7 @@
 #include "matrix/convert.hpp"
 #include "preprocess/preprocess.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu {
 
@@ -58,6 +59,7 @@ SymGraph symmetrize(const Csr& a) {
 }  // namespace
 
 Permutation rcm_ordering(const Csr& a) {
+  TRACE_SPAN("preprocess.ordering", {{"method", "rcm"}, {"n", a.n}});
   const SymGraph g = symmetrize(a);
   const index_t n = a.n;
   std::vector<index_t> degree(n);
@@ -100,6 +102,7 @@ Permutation rcm_ordering(const Csr& a) {
 }
 
 Permutation min_degree_ordering(const Csr& a) {
+  TRACE_SPAN("preprocess.ordering", {{"method", "min_degree"}, {"n", a.n}});
   const SymGraph g = symmetrize(a);
   const index_t n = a.n;
 

@@ -7,6 +7,7 @@
 #include "preprocess/preprocess.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::refactor {
 
@@ -83,6 +84,7 @@ void Refactorizer::rebuild(const Csr& a) {
 RefactorReport Refactorizer::fall_back(const Csr& a_new, const char* reason,
                                        RefactorReport rep,
                                        bool pattern_rebuild) {
+  TRACE_SPAN("refactor.fallback", {{"reason", reason}});
   rebuild(a_new);
   rep.reused = false;
   rep.fell_back = true;
@@ -102,6 +104,8 @@ RefactorReport Refactorizer::fall_back(const Csr& a_new, const char* reason,
 RefactorReport Refactorizer::refactorize(const Csr& a_new) {
   ++stats_.calls;
   RefactorReport rep;
+  trace::Span span_re("refactorize", device_,
+                      {{"n", a_new.n}, {"nnz", a_new.nnz()}});
   validate(a_new);
 
   if (a_new.n != base_pattern_.n || !same_pattern(a_new, base_pattern_)) {
@@ -119,21 +123,24 @@ RefactorReport Refactorizer::refactorize(const Csr& a_new) {
   // ---- Scatter: new values through the cached permutations into the
   // cached skeleton, then one values-only upload (structure is resident).
   WallTimer t_scatter;
-  std::fill(skeleton_.csc.values.begin(), skeleton_.csc.values.end(),
-            value_t{0});
   double max_abs_a = 0;
-  for (std::size_t k = 0; k < value_map_.size(); ++k) {
-    const value_t v = a_new.values[k];
-    skeleton_.csc.values[value_map_[k]] = v;
-    max_abs_a = std::max(max_abs_a, std::abs(static_cast<double>(v)));
-  }
-  if (options_.diag_patch.has_value()) {
-    for (index_t j = 0; j < a_new.n; ++j) {
-      value_t& d = skeleton_.csc.values[skeleton_.diag_pos[j]];
-      if (d == value_t{0}) d = *options_.diag_patch;
+  {
+    TRACE_SPAN("refactor.scatter", device_, {{"nnz", a_new.nnz()}});
+    std::fill(skeleton_.csc.values.begin(), skeleton_.csc.values.end(),
+              value_t{0});
+    for (std::size_t k = 0; k < value_map_.size(); ++k) {
+      const value_t v = a_new.values[k];
+      skeleton_.csc.values[value_map_[k]] = v;
+      max_abs_a = std::max(max_abs_a, std::abs(static_cast<double>(v)));
     }
+    if (options_.diag_patch.has_value()) {
+      for (index_t j = 0; j < a_new.n; ++j) {
+        value_t& d = skeleton_.csc.values[skeleton_.diag_pos[j]];
+        if (d == value_t{0}) d = *options_.diag_patch;
+      }
+    }
+    device_matrix_->upload_values(skeleton_);
   }
-  device_matrix_->upload_values(skeleton_);
   rep.scatter.ops = static_cast<std::uint64_t>(a_new.nnz());
   rep.scatter.wall_ms = t_scatter.millis();
   rep.scatter.sim_us =
@@ -148,6 +155,10 @@ RefactorReport Refactorizer::refactorize(const Csr& a_new) {
   try {
     // Task-list replay whenever the plan is resident (see rebuild());
     // otherwise honor the pipeline's cached format decision.
+    TRACE_SPAN("refactor.numeric", device_,
+               {{"format", device_replay_.has_value() ? "replay"
+                           : artifacts_.use_sparse_numeric ? "sparse"
+                                                           : "dense"}});
     const numeric::NumericStats nstats =
         device_replay_.has_value()
             ? numeric::factorize_replay(device_, skeleton_,

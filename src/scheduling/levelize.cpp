@@ -6,6 +6,7 @@
 #include "gpusim/device_buffer.hpp"
 #include "matrix/convert.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::scheduling {
 
@@ -147,6 +148,10 @@ namespace {
 LevelSchedule gpu_kahn(gpusim::Device& dev, const DependencyGraph& g,
                        bool from_device) {
   const index_t n = g.n;
+  trace::Span span_kahn("levelize.kahn", dev,
+                        {{"n", n},
+                         {"edges", g.num_edges()},
+                         {"dynamic", from_device ? 1 : 0}});
   gpusim::DeviceBuffer<offset_t> d_adj_ptr(dev, std::span(g.adj_ptr));
   gpusim::DeviceBuffer<index_t> d_adj(dev, std::span(g.adj));
   gpusim::DeviceBuffer<index_t> d_level(dev, static_cast<std::size_t>(n));
@@ -244,6 +249,8 @@ LevelSchedule gpu_kahn(gpusim::Device& dev, const DependencyGraph& g,
     ++level_num;
   }
 
+  span_kahn.attr("levels", level_num - 1);
+  span_kahn.end();
   std::vector<index_t> level(d_level.data(), d_level.data() + n);
   return pack_schedule(std::move(level));
 }

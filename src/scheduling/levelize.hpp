@@ -95,6 +95,17 @@ enum class LevelType { A, B, C };
 /// Classifies one level from its width and mean sub-column count.
 LevelType classify_level(index_t width, double avg_sub_columns);
 
+/// Stable short name for a level type ("A"/"B"/"C") — used as a trace
+/// span attribute and in bench tables.
+constexpr const char* level_type_name(LevelType t) {
+  switch (t) {
+    case LevelType::A: return "A";
+    case LevelType::B: return "B";
+    case LevelType::C: return "C";
+  }
+  return "?";
+}
+
 /// Classifies every level of a schedule against the filled pattern (the
 /// mean sub-column count of level l is the mean strictly-upper row length
 /// over its columns). Pattern-only, so re-factorizations of a matrix with

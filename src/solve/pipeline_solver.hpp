@@ -13,6 +13,7 @@
 
 #include "core/sparse_lu.hpp"
 #include "solve/triangular.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::solve {
 
@@ -39,6 +40,7 @@ class PipelineSolver {
   std::vector<value_t> solve(std::span<const value_t> b) const {
     const FactorResult& f = *factorization_;
     E2ELU_CHECK(b.size() == static_cast<std::size_t>(f.n));
+    TRACE_SPAN("solve.pipeline", {{"n", f.n}});
     std::vector<value_t> c(static_cast<std::size_t>(f.n));
     for (index_t i = 0; i < f.n; ++i) c[i] = b[f.row_perm[i]];
     const std::vector<value_t> y = lu_.solve(c);

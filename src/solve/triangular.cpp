@@ -4,6 +4,7 @@
 
 #include "matrix/convert.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::solve {
 
@@ -67,6 +68,8 @@ void TriangularSolver::rebind(const Csr& factor) {
 void TriangularSolver::solve(std::vector<value_t>& x) const {
   E2ELU_CHECK(x.size() == static_cast<std::size_t>(factor_->n));
   const Csr& f = *factor_;
+  TRACE_SPAN(lower_ ? "solve.lower" : "solve.upper", *device_,
+             {{"n", f.n}, {"levels", schedule_.num_levels()}});
   const std::uint64_t ops_before = device_->stats().kernel_ops;
   for (index_t l = 0; l < schedule_.num_levels(); ++l) {
     device_->launch(

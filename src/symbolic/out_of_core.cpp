@@ -23,6 +23,7 @@
 #include "symbolic/fill2.hpp"
 #include "symbolic/symbolic.hpp"
 #include "symbolic/workspace.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::symbolic {
 
@@ -74,6 +75,11 @@ PassResult chunked_pass(
   pr.num_chunks = static_cast<index_t>((rows.size() + chunk - 1) / chunk);
   for (std::size_t begin = 0; begin < rows.size(); begin += chunk) {
     const std::size_t count = std::min(chunk, rows.size() - begin);
+    TRACE_SPAN("symbolic.chunk", dev,
+               {{"stage", name},
+                {"chunk", begin / chunk},
+                {"rows", count},
+                {"queue_cap", qcap}});
     dev.launch(
         {.name = name,
          .blocks = static_cast<std::int64_t>(count),
@@ -115,6 +121,7 @@ SymbolicResult two_stage_symbolic(gpusim::Device& dev, const Csr& a,
   // Stage 1 (symbolic_1): count fill per row.
   gpusim::DeviceBuffer<index_t> d_fill_count(dev, static_cast<std::size_t>(n));
   {
+    TRACE_SPAN("symbolic.stage1", dev, {{"rows", n}});
     const PassResult pr = run_pass(
         "symbolic_1",
         [&](index_t row, PlainWorkspace& ws, gpusim::KernelContext& ctx) {
@@ -131,20 +138,23 @@ SymbolicResult two_stage_symbolic(gpusim::Device& dev, const Csr& a,
   // Device prefix sum over the counts -> row offsets (Algorithm 3 line 7).
   res.filled.n = n;
   res.filled.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
-  dev.launch({.name = "prefix_sum",
-              .blocks = (n + 255) / 256,
-              .threads_per_block = 256},
-             [&](std::int64_t b, gpusim::KernelContext& ctx) {
-               const index_t lo = static_cast<index_t>(b) * 256;
-               const index_t hi = std::min(n, lo + 256);
-               ctx.add_ops(static_cast<std::uint64_t>(hi - lo));
-             });
-  for (index_t i = 0; i < n; ++i) {
-    res.filled.row_ptr[i + 1] =
-        res.filled.row_ptr[i] + d_fill_count[static_cast<std::size_t>(i)];
+  {
+    TRACE_SPAN("symbolic.prefix_sum", dev);
+    dev.launch({.name = "prefix_sum",
+                .blocks = (n + 255) / 256,
+                .threads_per_block = 256},
+               [&](std::int64_t b, gpusim::KernelContext& ctx) {
+                 const index_t lo = static_cast<index_t>(b) * 256;
+                 const index_t hi = std::min(n, lo + 256);
+                 ctx.add_ops(static_cast<std::uint64_t>(hi - lo));
+               });
+    for (index_t i = 0; i < n; ++i) {
+      res.filled.row_ptr[i + 1] =
+          res.filled.row_ptr[i] + d_fill_count[static_cast<std::size_t>(i)];
+    }
+    std::copy(d_fill_count.data(), d_fill_count.data() + n,
+              res.fill_count.begin());
   }
-  std::copy(d_fill_count.data(), d_fill_count.data() + n,
-            res.fill_count.begin());
 
   // Allocate the factorized pattern on the device (Algorithm 3 line 8).
   const offset_t total = res.filled.nnz();
@@ -152,21 +162,24 @@ SymbolicResult two_stage_symbolic(gpusim::Device& dev, const Csr& a,
 
   // Stage 2 (symbolic_2): record positions, then sort each row segment so
   // the CSC conversion and the numeric binary search see sorted indices.
-  run_pass("symbolic_2", [&](index_t row, PlainWorkspace& ws,
-                             gpusim::KernelContext& ctx) {
-    const offset_t seg_begin = res.filled.row_ptr[row];
-    offset_t w = seg_begin;
-    const RowStats st = fill2_row(a, row, ws, [&](index_t col) {
-      d_as_cols[static_cast<std::size_t>(w++)] = col;
+  {
+    TRACE_SPAN("symbolic.stage2", dev, {{"rows", n}, {"fill_nnz", total}});
+    run_pass("symbolic_2", [&](index_t row, PlainWorkspace& ws,
+                               gpusim::KernelContext& ctx) {
+      const offset_t seg_begin = res.filled.row_ptr[row];
+      offset_t w = seg_begin;
+      const RowStats st = fill2_row(a, row, ws, [&](index_t col) {
+        d_as_cols[static_cast<std::size_t>(w++)] = col;
+      });
+      if (st.overflow) return true;
+      E2ELU_CHECK_MSG(w == res.filled.row_ptr[row + 1],
+                      "stage-2 fill count for row "
+                          << row << " diverged from stage 1");
+      std::sort(d_as_cols.data() + seg_begin, d_as_cols.data() + w);
+      ctx.add_ops(st.ops + sort_ops(static_cast<std::size_t>(w - seg_begin)));
+      return false;
     });
-    if (st.overflow) return true;
-    E2ELU_CHECK_MSG(w == res.filled.row_ptr[row + 1],
-                    "stage-2 fill count for row "
-                        << row << " diverged from stage 1");
-    std::sort(d_as_cols.data() + seg_begin, d_as_cols.data() + w);
-    ctx.add_ops(st.ops + sort_ops(static_cast<std::size_t>(w - seg_begin)));
-    return false;
-  });
+  }
 
   res.filled.col_idx.assign(d_as_cols.data(), d_as_cols.data() + total);
   res.ops = dev.stats().kernel_ops - ops_before;
@@ -211,6 +224,7 @@ SymbolicResult symbolic_out_of_core_multipart(gpusim::Device& dev,
   const double warp_eff = warp_eff_for(dev, a);
 
   // --- Planner: sample the frontier-growth curve (Figure 3) on device. ---
+  trace::Span span_plan("symbolic.plan", dev, {{"parts", parts}});
   const index_t num_samples = std::min<index_t>(opt.planner_samples, n);
   std::vector<index_t> sample_rows(static_cast<std::size_t>(num_samples));
   for (index_t s = 0; s < num_samples; ++s) {
@@ -275,6 +289,10 @@ SymbolicResult symbolic_out_of_core_multipart(gpusim::Device& dev,
                                          (range_peak + 1))));
     if (r.begin < r.end) ranges.push_back(r);
   }
+
+  span_plan.attr("n1", n1);
+  span_plan.attr("peak_frontier", peak);
+  span_plan.end();
 
   std::vector<index_t> tail(static_cast<std::size_t>(n - n1));
   std::iota(tail.begin(), tail.end(), n1);

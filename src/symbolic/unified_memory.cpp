@@ -21,6 +21,7 @@
 #include "symbolic/fill2.hpp"
 #include "symbolic/symbolic.hpp"
 #include "symbolic/workspace.hpp"
+#include "trace/trace.hpp"
 
 namespace e2elu::symbolic {
 
@@ -69,6 +70,8 @@ SymbolicResult symbolic_unified_memory(gpusim::Device& dev, const Csr& a,
   res.num_chunks = 1;
 
   auto run_stage = [&](const char* name, auto&& per_row) {
+    TRACE_SPAN("symbolic.um_stage", dev,
+               {{"stage", name}, {"rows", n}, {"prefetch", prefetch ? 1 : 0}});
     dev.launch(
         {.name = name,
          .blocks = n,
@@ -106,18 +109,22 @@ SymbolicResult symbolic_unified_memory(gpusim::Device& dev, const Csr& a,
     ctx.add_ops(st.ops);
   });
 
-  dev.launch({.name = "prefix_sum",
-              .blocks = (n + 255) / 256,
-              .threads_per_block = 256},
-             [&](std::int64_t b, gpusim::KernelContext& ctx) {
-               const index_t lo = static_cast<index_t>(b) * 256;
-               ctx.add_ops(static_cast<std::uint64_t>(std::min(n, lo + 256) - lo));
-             });
-  res.filled.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (index_t i = 0; i < n; ++i) {
-    res.filled.row_ptr[i + 1] =
-        res.filled.row_ptr[i] + d_fill_count[static_cast<std::size_t>(i)];
-    res.fill_count[i] = d_fill_count[static_cast<std::size_t>(i)];
+  {
+    TRACE_SPAN("symbolic.prefix_sum", dev);
+    dev.launch({.name = "prefix_sum",
+                .blocks = (n + 255) / 256,
+                .threads_per_block = 256},
+               [&](std::int64_t b, gpusim::KernelContext& ctx) {
+                 const index_t lo = static_cast<index_t>(b) * 256;
+                 ctx.add_ops(
+                     static_cast<std::uint64_t>(std::min(n, lo + 256) - lo));
+               });
+    res.filled.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (index_t i = 0; i < n; ++i) {
+      res.filled.row_ptr[i + 1] =
+          res.filled.row_ptr[i] + d_fill_count[static_cast<std::size_t>(i)];
+      res.fill_count[i] = d_fill_count[static_cast<std::size_t>(i)];
+    }
   }
 
   gpusim::DeviceBuffer<index_t> d_as_cols(

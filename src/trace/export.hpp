@@ -1,0 +1,40 @@
+// Exporters for recorded spans: Chrome trace-event JSON (Perfetto /
+// chrome://tracing), flat metrics JSON, and a human-readable summary
+// table. All are pure functions of a SpanRecord snapshot so tests can
+// drive them directly; Tracer::write_artifacts() wires them to the
+// E2ELU_TRACE / E2ELU_METRICS / E2ELU_TRACE_SUMMARY configuration.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace e2elu::trace {
+
+/// Chrome trace-event JSON. Two clock domains are emitted as two trace
+/// "processes": pid 1 is the host wall clock (one track per recording
+/// thread), pid 2 is simulated device time (one track per device; only
+/// device-bound spans appear there). Device-bound spans carry their
+/// DeviceStats delta (launches, kernel ops, page faults, transfer bytes)
+/// in "args", next to the span's own attributes.
+void write_chrome_trace(std::ostream& os, std::span<const SpanRecord> spans);
+
+/// Flat metrics JSON from a registry (counters / gauges / histograms).
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
+
+/// Publishes per-span-name aggregates into `registry`:
+///   span.<name>.count                  counter
+///   span.<name>.wall_us                histogram
+///   span.<name>.sim_us                 histogram (device-bound spans)
+///   span.<name>.launches / .page_faults / .h2d_bytes / .d2h_bytes
+void publish_span_metrics(std::span<const SpanRecord> spans,
+                          MetricsRegistry& registry);
+
+/// Human-readable per-phase summary: one row per span name with call
+/// count, wall time, inclusive and self simulated time, and the key
+/// device counters; sorted by inclusive simulated time.
+void print_summary(std::ostream& os, std::span<const SpanRecord> spans);
+
+}  // namespace e2elu::trace

@@ -1,0 +1,88 @@
+// A small metrics registry: named counters, gauges, and histograms with a
+// flat JSON export. The tracer publishes per-span aggregates here at
+// artifact-write time (span.<name>.count / .wall_us / .sim_us / device
+// counters), and applications can register their own series alongside —
+// one file then carries both pipeline-phase and application metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace e2elu::trace {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Power-of-two-bucketed histogram over non-negative values, plus exact
+/// count/sum/min/max. Bucket b counts records with value <= 2^b (the last
+/// bucket absorbs the tail), which is plenty of resolution for the
+/// latency/size distributions it is used for.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  std::uint64_t bucket(int b) const { return buckets_[b]; }
+  /// Upper bound of bucket b (2^b).
+  static double bucket_upper(int b) { return static_cast<double>(1ull << b); }
+
+ private:
+  friend class MetricsRegistry;
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (what E2ELU_METRICS exports).
+  static MetricsRegistry& global();
+
+  /// Looks up or creates a series. References stay valid for the
+  /// registry's lifetime (clear() resets values but keeps the nodes).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Flat JSON: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void write_json(std::ostream& os) const;
+
+  /// Resets every series to zero (for tests and repeated runs).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace e2elu::trace

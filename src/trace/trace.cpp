@@ -1,0 +1,256 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "support/check.hpp"
+#include "trace/export.hpp"
+
+namespace e2elu::trace {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Per-thread span storage: a bounded ring that grows lazily up to
+/// capacity, then overwrites the oldest records (dropped() reports how
+/// many were lost). One Ring per thread that ever recorded a span; owned
+/// by the Tracer and intentionally leaked at exit so pool workers can
+/// still record during teardown.
+struct Tracer::Ring {
+  std::vector<SpanRecord> buf;
+  std::size_t capacity = 0;
+  std::uint64_t pushed = 0;
+
+  void push(const SpanRecord& r) {
+    if (buf.size() < capacity) {
+      buf.push_back(r);
+    } else if (capacity > 0) {
+      buf[pushed % capacity] = r;
+    }
+    ++pushed;
+  }
+  std::uint64_t overwritten() const {
+    return pushed > buf.size() ? pushed - buf.size() : 0;
+  }
+};
+
+/// Per-thread recording state: the thread's ring plus the open-span stack
+/// used to derive parent links and depth.
+struct Tracer::ThreadState {
+  Ring* ring = nullptr;
+  std::uint32_t thread_index = 0;
+  static constexpr std::size_t kMaxDepth = 64;
+  std::uint64_t stack[kMaxDepth];
+  std::uint32_t depth = 0;
+};
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) * 1e-3;
+}
+
+Tracer::ThreadState& Tracer::thread_state() {
+  thread_local ThreadState state;
+  if (state.ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto* ring = new Ring;  // owned by rings_, freed never (see struct doc)
+    ring->capacity = std::max<std::size_t>(1, config_.ring_capacity);
+    state.thread_index = static_cast<std::uint32_t>(rings_.size());
+    state.ring = ring;
+    rings_.push_back(ring);
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return state;
+}
+
+void Tracer::enable(TraceConfig cfg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = std::move(cfg);
+  written_ = false;
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool Tracer::configure_from_env() {
+  const char* trace_path = std::getenv("E2ELU_TRACE");
+  const char* metrics_path = std::getenv("E2ELU_METRICS");
+  const char* summary = std::getenv("E2ELU_TRACE_SUMMARY");
+  const bool any = (trace_path && *trace_path) ||
+                   (metrics_path && *metrics_path) || (summary && *summary);
+  if (!any) return false;
+  TraceConfig cfg;
+  if (trace_path) cfg.trace_path = trace_path;
+  if (metrics_path) cfg.metrics_path = metrics_path;
+  cfg.summary_to_stderr = summary != nullptr && *summary != '\0';
+  enable(std::move(cfg));
+  return true;
+}
+
+namespace {
+/// Static-init hook: binaries that link any instrumented code pick up the
+/// env configuration with no code of their own; the atexit writer then
+/// emits the artifacts even if the program never touches the tracer API.
+struct EnvAutoConfig {
+  EnvAutoConfig() {
+    if (Tracer::instance().configure_from_env()) {
+      std::atexit([] { Tracer::instance().write_artifacts(); });
+    }
+  }
+};
+const EnvAutoConfig g_env_auto_config;
+}  // namespace
+
+std::vector<std::string> Tracer::write_artifacts() {
+  std::vector<std::string> written;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (written_) return written;
+    written_ = true;
+  }
+  const bool any_output = !config_.trace_path.empty() ||
+                          !config_.metrics_path.empty() ||
+                          config_.summary_to_stderr;
+  if (!any_output) return written;
+  const std::vector<SpanRecord> spans = collect();
+  if (spans.empty()) return written;
+
+  if (!config_.trace_path.empty()) {
+    std::ofstream os(config_.trace_path);
+    if (os) {
+      write_chrome_trace(os, spans);
+      written.push_back(config_.trace_path);
+    } else {
+      std::cerr << "[e2elu::trace] cannot open " << config_.trace_path << "\n";
+    }
+  }
+  if (!config_.metrics_path.empty()) {
+    publish_span_metrics(spans, MetricsRegistry::global());
+    std::ofstream os(config_.metrics_path);
+    if (os) {
+      write_metrics_json(os, MetricsRegistry::global());
+      written.push_back(config_.metrics_path);
+    } else {
+      std::cerr << "[e2elu::trace] cannot open " << config_.metrics_path
+                << "\n";
+    }
+  }
+  if (config_.summary_to_stderr) print_summary(std::cerr, spans);
+  return written;
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Ring* ring : rings_) {
+    // Oldest-first: a wrapped ring starts at pushed % capacity.
+    const std::size_t size = ring->buf.size();
+    const std::size_t first =
+        size < ring->capacity ? 0 : ring->pushed % ring->capacity;
+    for (std::size_t k = 0; k < size; ++k) {
+      out.push_back(ring->buf[(first + k) % size]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Ring* ring : rings_) {
+    ring->buf.clear();
+    ring->pushed = 0;
+  }
+  written_ = false;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Ring* ring : rings_) total += ring->overwritten();
+  return total;
+}
+
+int Tracer::device_id(const gpusim::Device* dev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t k = 0; k < devices_.size(); ++k) {
+    if (devices_[k] == dev) return static_cast<int>(k);
+  }
+  devices_.push_back(dev);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(devices_.size() - 1);
+}
+
+void Span::start(const char* name, const gpusim::Device* dev,
+                 std::initializer_list<Attr> attrs) {
+  Tracer& tracer = Tracer::instance();
+  Tracer::ThreadState& state = tracer.thread_state();
+
+  active_ = true;
+  dev_ = dev;
+  rec_.name = name;
+  rec_.id = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
+  rec_.thread = state.thread_index;
+  rec_.depth = state.depth;
+  rec_.parent = state.depth > 0 ? state.stack[state.depth - 1] : 0;
+  if (state.depth < Tracer::ThreadState::kMaxDepth) {
+    state.stack[state.depth] = rec_.id;
+  }
+  ++state.depth;
+
+  for (const Attr& a : attrs) {
+    if (rec_.num_attrs < SpanRecord::kMaxAttrs) {
+      rec_.attrs[rec_.num_attrs++] = a;
+    }
+  }
+  if (dev != nullptr) {
+    rec_.device_id = tracer.device_id(dev);
+    before_ = dev->stats();
+    rec_.sim_start_us = before_.sim_total_us();
+  }
+  // Last, so the span's own bookkeeping is outside its measured window.
+  rec_.start_us = tracer.now_us();
+}
+
+void Span::finish() {
+  Tracer& tracer = Tracer::instance();
+  rec_.dur_us = tracer.now_us() - rec_.start_us;
+  if (dev_ != nullptr) {
+    rec_.delta = dev_->stats().since(before_);
+    rec_.sim_dur_us = rec_.delta.sim_total_us();
+  }
+  Tracer::ThreadState& state = tracer.thread_state();
+  if (state.depth > 0) --state.depth;
+  // Record even when recording was disabled mid-span: the open-span stack
+  // must unwind either way, and a partial tail is more useful than a gap.
+  state.ring->push(rec_);
+}
+
+void Span::attr(const char* key, AttrValue value) {
+  if (!active_ || rec_.num_attrs >= SpanRecord::kMaxAttrs) return;
+  rec_.attrs[rec_.num_attrs++] = Attr{key, value};
+}
+
+}  // namespace e2elu::trace

@@ -1,0 +1,234 @@
+// Pipeline tracing: phase-attributed RAII spans with DeviceStats deltas.
+//
+// The paper's whole argument is phase-level accounting — Table 3 splits
+// simulated time into page-fault service vs. transfers, Figures 3-8 break
+// the pipeline into symbolic chunks, levelization, and per-level numeric
+// kernels. This layer makes that accounting a first-class artifact of any
+// run instead of something every bench hand-rolls: scoped spans nest,
+// carry key/value attributes (chunk index, level id, GLU3.0 kernel type),
+// record wall time *and* simulated device time, and capture a
+// gpusim::DeviceStats delta so kernel launches, page faults, and H2D/D2H
+// bytes are attributed to the exact pipeline phase that incurred them.
+//
+// Usage:
+//   TRACE_SPAN("symbolic.stage1");                      // wall time only
+//   TRACE_SPAN("numeric.level", dev, {{"level", l},     // + device deltas
+//                                     {"type", "A"}});
+//
+// Cost discipline: tracing is disabled by default and the disabled path is
+// a single relaxed atomic load — no allocation, no clock read, no locking
+// (tests assert this). Enabled, each span is recorded into a thread-local
+// ring buffer (safe under support/thread_pool workers); buffers are only
+// walked at export time.
+//
+// Configuration: programmatic (Tracer::instance().enable({...})) or via
+// environment variables, read once at process start:
+//   E2ELU_TRACE=<path>     write a Chrome trace-event JSON on exit
+//                          (open in Perfetto / chrome://tracing)
+//   E2ELU_METRICS=<path>   write a flat metrics JSON (MetricsRegistry)
+//   E2ELU_TRACE_SUMMARY=1  print a per-phase summary table to stderr
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace e2elu::trace {
+
+/// Attribute value: a tagged union over the three kinds a span cares
+/// about. Deliberately allocation-free so that building an attribute list
+/// at a TRACE_SPAN site costs nothing when tracing is disabled. String
+/// values are stored as pointers: pass string literals (or other storage
+/// that outlives the tracer), not temporaries.
+struct AttrValue {
+  enum class Kind : std::uint8_t { Int, Float, Str };
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  double f = 0;
+  const char* s = nullptr;
+
+  constexpr AttrValue() = default;
+  template <std::integral T>
+  constexpr AttrValue(T v) : kind(Kind::Int), i(static_cast<std::int64_t>(v)) {}
+  constexpr AttrValue(double v) : kind(Kind::Float), f(v) {}
+  constexpr AttrValue(const char* v) : kind(Kind::Str), s(v) {}
+};
+
+/// One key/value attribute. Keys must be string literals (or otherwise
+/// outlive the tracer) — they are not copied.
+struct Attr {
+  const char* key = nullptr;
+  AttrValue value;
+};
+
+/// A finished span, as stored in the per-thread ring buffers. Trivially
+/// copyable on purpose: ring slots are reused in place.
+struct SpanRecord {
+  static constexpr std::size_t kMaxAttrs = 8;
+
+  const char* name = nullptr;
+  std::uint64_t id = 0;      ///< unique, process-wide, starts at 1
+  std::uint64_t parent = 0;  ///< enclosing span on the same thread; 0 = root
+  std::uint32_t thread = 0;  ///< tracer-assigned thread index
+  std::uint32_t depth = 0;   ///< nesting depth on its thread (root = 0)
+
+  double start_us = 0;  ///< wall clock, relative to the tracer epoch
+  double dur_us = 0;
+
+  /// Device binding: -1 when the span tracked wall time only. Bound spans
+  /// carry the simulated-time window and the full counter delta.
+  int device_id = -1;
+  double sim_start_us = 0;
+  double sim_dur_us = 0;
+  gpusim::DeviceStats delta;
+
+  std::array<Attr, kMaxAttrs> attrs{};
+  std::uint32_t num_attrs = 0;
+};
+
+/// Tracer configuration; all outputs are optional.
+struct TraceConfig {
+  std::string trace_path;    ///< Chrome trace-event JSON (empty: none)
+  std::string metrics_path;  ///< flat metrics JSON (empty: none)
+  bool summary_to_stderr = false;
+  std::size_t ring_capacity = 1u << 20;  ///< per-thread span slots
+};
+
+namespace detail {
+/// The global on/off switch, read on every span construction. A bare
+/// atomic (not a function-local static) so the disabled fast path is one
+/// relaxed load with no init guard.
+inline std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+class Tracer {
+ public:
+  /// The process-wide tracer. First call fixes the wall-clock epoch.
+  static Tracer& instance();
+
+  /// True when spans are being recorded (the Span fast-path check).
+  static bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+  /// Starts recording under `cfg`. Safe to call again to reconfigure.
+  void enable(TraceConfig cfg = {});
+  /// Stops recording; already-recorded spans are kept until clear().
+  void disable();
+
+  /// Applies E2ELU_TRACE / E2ELU_METRICS / E2ELU_TRACE_SUMMARY and
+  /// enables tracing if any is set (idempotent; also run automatically at
+  /// static-init time, so binaries get trace artifacts with no code).
+  /// Returns true when the environment enabled tracing.
+  bool configure_from_env();
+
+  /// Writes every configured artifact (Chrome trace, metrics JSON,
+  /// stderr summary). Returns the file paths written. Idempotent per
+  /// recording: a second call without new spans writes nothing. No-op
+  /// when tracing was never enabled.
+  std::vector<std::string> write_artifacts();
+
+  /// Snapshot of all recorded spans across threads, ordered by start
+  /// time. Call between pipeline phases, not concurrently with span
+  /// destruction on other threads.
+  std::vector<SpanRecord> collect() const;
+
+  /// Discards recorded spans (ring buffers stay registered).
+  void clear();
+
+  /// Spans overwritten in the ring buffers since the last clear().
+  std::uint64_t dropped() const;
+
+  /// Ring-buffer + registry allocations performed by the recording path —
+  /// stays at zero while tracing is disabled (asserted by tests).
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+  /// Small stable id for a device, for the simulated-time trace track
+  /// (one process can run several simulated devices).
+  int device_id(const gpusim::Device* dev);
+
+  const TraceConfig& config() const { return config_; }
+
+  /// Microseconds since the tracer epoch (wall clock).
+  double now_us() const;
+
+ private:
+  friend class Span;
+  struct Ring;
+  struct ThreadState;
+
+  Tracer();
+  ThreadState& thread_state();
+
+  TraceConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Ring*> rings_;  ///< owned; never freed (threads may outlive)
+  std::vector<const gpusim::Device*> devices_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> allocations_{0};
+  std::uint64_t epoch_ns_ = 0;
+  bool written_ = false;  ///< artifacts already written for this recording
+};
+
+/// RAII scoped span. Construction snapshots wall time (and, when bound to
+/// a device, its DeviceStats); destruction computes the deltas and records
+/// the span into the current thread's ring buffer.
+class Span {
+ public:
+  explicit Span(const char* name, std::initializer_list<Attr> attrs = {}) {
+    if (Tracer::armed()) start(name, nullptr, attrs);
+  }
+  Span(const char* name, const gpusim::Device& dev,
+       std::initializer_list<Attr> attrs = {}) {
+    if (Tracer::armed()) start(name, &dev, attrs);
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Adds an attribute after construction (for values only known later,
+  /// e.g. Algorithm 4's split point). Silently dropped when the span is
+  /// inactive or full.
+  void attr(const char* key, AttrValue value);
+
+  /// Ends the span before scope exit (for phases that finish mid-block).
+  /// Safe to call on an inactive span; later attr()/end() calls are no-ops.
+  void end() {
+    if (active_) {
+      finish();
+      active_ = false;
+    }
+  }
+
+ private:
+  void start(const char* name, const gpusim::Device* dev,
+             std::initializer_list<Attr> attrs);
+  void finish();
+
+  bool active_ = false;
+  const gpusim::Device* dev_ = nullptr;
+  gpusim::DeviceStats before_;
+  SpanRecord rec_;
+};
+
+}  // namespace e2elu::trace
+
+#define E2ELU_TRACE_CONCAT2(a, b) a##b
+#define E2ELU_TRACE_CONCAT(a, b) E2ELU_TRACE_CONCAT2(a, b)
+
+/// Opens a scoped span for the rest of the enclosing block:
+///   TRACE_SPAN("name");
+///   TRACE_SPAN("name", {{"k", v}});
+///   TRACE_SPAN("name", device, {{"k", v}});
+#define TRACE_SPAN(...) \
+  ::e2elu::trace::Span E2ELU_TRACE_CONCAT(e2elu_span_, __LINE__)(__VA_ARGS__)

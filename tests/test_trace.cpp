@@ -1,0 +1,374 @@
+// Tracing layer (trace/): span nesting and parentage, attribute
+// propagation, per-span DeviceStats delta attribution (phase deltas must
+// tile the device's global counters), exporter output validity, ring
+// overwrite accounting, and the disabled-tracer zero-allocation fast
+// path.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sparse_lu.hpp"
+#include "matrix/generators.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace e2elu::trace {
+namespace {
+
+/// Minimal recursive-descent JSON syntax checker — enough to prove the
+/// exporters emit well-formed JSON (objects, arrays, strings with
+/// escapes, numbers, literals), without pulling in a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (; *lit != '\0'; ++lit) {
+      if (pos_ >= s_.size() || s_[pos_] != *lit) return false;
+      ++pos_;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans,
+                            const char* name) {
+  for (const SpanRecord& r : spans) {
+    if (r.name != nullptr && std::string(r.name) == name) return &r;
+  }
+  return nullptr;
+}
+
+const Attr* find_attr(const SpanRecord& r, const char* key) {
+  for (std::uint32_t a = 0; a < r.num_attrs; ++a) {
+    if (r.attrs[a].key != nullptr && std::string(r.attrs[a].key) == key) {
+      return &r.attrs[a];
+    }
+  }
+  return nullptr;
+}
+
+/// Arms the tracer (no file outputs) with a clean slate and disarms it
+/// again on scope exit, so tests don't leak recording state.
+struct Recording {
+  Recording(TraceConfig cfg = {}) {
+    Tracer::instance().enable(std::move(cfg));
+    Tracer::instance().clear();
+  }
+  ~Recording() {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+TEST(Trace, DisabledSpansCostNoAllocationsAndRecordNothing) {
+  Tracer& tracer = Tracer::instance();
+  tracer.disable();
+  tracer.clear();
+  const std::uint64_t allocs_before = tracer.allocations();
+  for (int i = 0; i < 1000; ++i) {
+    TRACE_SPAN("noop", {{"i", i}, {"what", "disabled"}});
+  }
+  EXPECT_EQ(tracer.allocations(), allocs_before);
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST(Trace, SpansNestWithParentLinksAndDepths) {
+  Recording rec;
+  {
+    Span outer("outer");
+    {
+      Span mid("mid");
+      TRACE_SPAN("inner");
+    }
+    { TRACE_SPAN("sibling"); }
+  }
+  Tracer::instance().disable();
+
+  const std::vector<SpanRecord> spans = Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord* outer = find_span(spans, "outer");
+  const SpanRecord* mid = find_span(spans, "mid");
+  const SpanRecord* inner = find_span(spans, "inner");
+  const SpanRecord* sibling = find_span(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(mid->parent, outer->id);
+  EXPECT_EQ(mid->depth, 1u);
+  EXPECT_EQ(inner->parent, mid->id);
+  EXPECT_EQ(inner->depth, 2u);
+  EXPECT_EQ(sibling->parent, outer->id);
+  EXPECT_EQ(sibling->depth, 1u);
+
+  // Start times respect nesting; durations contain the children.
+  EXPECT_LE(outer->start_us, mid->start_us);
+  EXPECT_LE(mid->start_us, inner->start_us);
+  EXPECT_GE(outer->start_us + outer->dur_us, inner->start_us + inner->dur_us);
+}
+
+TEST(Trace, AttributesPropagateIncludingPostHocOnes) {
+  Recording rec;
+  {
+    Span span("attrs", {{"level", 7}, {"type", "B"}});
+    span.attr("warp_eff", 0.5);
+  }
+  Tracer::instance().disable();
+
+  const std::vector<SpanRecord> spans = Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanRecord& r = spans[0];
+  ASSERT_EQ(r.num_attrs, 3u);
+
+  const Attr* level = find_attr(r, "level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->value.kind, AttrValue::Kind::Int);
+  EXPECT_EQ(level->value.i, 7);
+
+  const Attr* type = find_attr(r, "type");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->value.kind, AttrValue::Kind::Str);
+  EXPECT_STREQ(type->value.s, "B");
+
+  const Attr* eff = find_attr(r, "warp_eff");
+  ASSERT_NE(eff, nullptr);
+  EXPECT_EQ(eff->value.kind, AttrValue::Kind::Float);
+  EXPECT_DOUBLE_EQ(eff->value.f, 0.5);
+}
+
+TEST(Trace, AttributeOverflowIsDroppedNotFatal) {
+  Recording rec;
+  {
+    Span span("overflow");
+    for (int i = 0; i < 2 * static_cast<int>(SpanRecord::kMaxAttrs); ++i) {
+      span.attr("k", i);
+    }
+  }
+  Tracer::instance().disable();
+  const std::vector<SpanRecord> spans = Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].num_attrs, SpanRecord::kMaxAttrs);
+}
+
+TEST(Trace, PhaseDeltasTileTheDeviceGlobalCounters) {
+  Recording rec;
+  Options opt;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(8u << 20);
+  const Csr a = gen_grid2d(24, 24);
+  const FactorResult f = SparseLU(opt).factorize(a);
+  Tracer::instance().disable();
+
+  const std::vector<SpanRecord> spans = Tracer::instance().collect();
+  const SpanRecord* root = find_span(spans, "factorize");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->depth, 0u);
+  ASSERT_GE(root->device_id, 0);
+
+  // The root span wraps the pipeline's entire Device lifetime, so its
+  // delta IS the device's global counters.
+  EXPECT_DOUBLE_EQ(root->delta.sim_total_us(), f.device_stats.sim_total_us());
+  EXPECT_EQ(root->delta.host_launches, f.device_stats.host_launches);
+  EXPECT_EQ(root->delta.device_launches, f.device_stats.device_launches);
+  EXPECT_EQ(root->delta.kernel_ops, f.device_stats.kernel_ops);
+  EXPECT_EQ(root->delta.h2d_bytes, f.device_stats.h2d_bytes);
+  EXPECT_EQ(root->delta.d2h_bytes, f.device_stats.d2h_bytes);
+
+  // The depth-1 phase spans partition that work: their deltas must sum
+  // to the root's (every launch happens inside exactly one phase).
+  double child_sim = 0;
+  std::uint64_t child_launches = 0, child_ops = 0;
+  for (const SpanRecord& r : spans) {
+    if (r.parent != root->id) continue;
+    ASSERT_GE(r.device_id, 0) << r.name;
+    child_sim += r.delta.sim_total_us();
+    child_launches += r.delta.host_launches + r.delta.device_launches;
+    child_ops += r.delta.kernel_ops;
+  }
+  EXPECT_NEAR(child_sim, f.device_stats.sim_total_us(),
+              1e-9 * (1.0 + f.device_stats.sim_total_us()));
+  EXPECT_EQ(child_launches,
+            f.device_stats.host_launches + f.device_stats.device_launches);
+  EXPECT_EQ(child_ops, f.device_stats.kernel_ops);
+}
+
+TEST(Trace, ChromeTraceExportIsValidJsonWithBothClockTracks) {
+  Recording rec;
+  Options opt;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(8u << 20);
+  (void)SparseLU(opt).factorize(gen_grid2d(12, 12));
+  Tracer::instance().disable();
+  const std::vector<SpanRecord> spans = Tracer::instance().collect();
+  ASSERT_FALSE(spans.empty());
+
+  std::ostringstream os;
+  write_chrome_trace(os, spans);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // Wall-clock events, simulated-time events, and the metadata naming
+  // the simulated-device clock domain must all be present.
+  EXPECT_NE(json.find("\"cat\": \"e2elu\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"e2elu-sim\""), std::string::npos);
+  EXPECT_NE(json.find("e2elu simulated device time"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_kernel_us\""), std::string::npos);
+}
+
+TEST(Trace, MetricsExportIsValidJson) {
+  Recording rec;
+  {
+    TRACE_SPAN("metrics_probe", {{"k", 1}});
+  }
+  Tracer::instance().disable();
+
+  MetricsRegistry registry;
+  registry.counter("manual.count").add(3);
+  registry.gauge("manual.gauge").set(1.5);
+  registry.histogram("manual.histo").record(10.0);
+  registry.histogram("manual.histo").record(1000.0);
+  publish_span_metrics(Tracer::instance().collect(), registry);
+
+  std::ostringstream os;
+  write_metrics_json(os, registry);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"manual.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"span.metrics_probe.count\": 1"), std::string::npos);
+}
+
+TEST(Trace, RingBufferOverwritesOldestAndCountsDrops) {
+  TraceConfig small_ring;
+  small_ring.ring_capacity = 4;
+  Recording rec(small_ring);
+  // A fresh thread gets a fresh ring sized by the active config (the main
+  // thread's ring was registered earlier with the default capacity).
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) {
+      TRACE_SPAN("ring", {{"i", i}});
+    }
+  });
+  worker.join();
+  Tracer::instance().disable();
+
+  const std::vector<SpanRecord> spans = Tracer::instance().collect();
+  std::vector<std::int64_t> kept;
+  for (const SpanRecord& r : spans) {
+    if (r.name != nullptr && std::string(r.name) == "ring") {
+      kept.push_back(find_attr(r, "i")->value.i);
+    }
+  }
+  // 10 pushed into 4 slots: the newest 4 survive, oldest-first.
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front(), 6);
+  EXPECT_EQ(kept.back(), 9);
+  EXPECT_EQ(Tracer::instance().dropped(), 6u);
+}
+
+TEST(Trace, SummaryPrinterRuns) {
+  Recording rec;
+  {
+    Span outer("sum_outer");
+    TRACE_SPAN("sum_inner");
+  }
+  Tracer::instance().disable();
+  std::ostringstream os;
+  print_summary(os, Tracer::instance().collect());
+  EXPECT_NE(os.str().find("sum_outer"), std::string::npos);
+  EXPECT_NE(os.str().find("sum_inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace e2elu::trace
