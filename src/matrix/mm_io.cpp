@@ -4,6 +4,8 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -15,6 +17,39 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+/// Parses one Matrix Market numeric token. Real SuiteSparse exports carry
+/// Fortran-style exponents ("1.0D+00", "-3.5d-2") that strtod rejects, so
+/// D/d is normalized to E first.
+double parse_mm_value(std::string token, long entry) {
+  for (char& c : token) {
+    if (c == 'D' || c == 'd') c = 'E';
+  }
+  std::size_t consumed = 0;
+  double v = 0;
+  try {
+    v = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  E2ELU_CHECK_MSG(consumed == token.size() && consumed > 0,
+                  "malformed value '" << token << "' at entry " << entry);
+  return v;
+}
+
+/// Reads the next entry line, skipping blank and comment lines (both
+/// appear inside the entry list of files in the wild). Strips a trailing
+/// CR so CRLF files parse. Returns false at end of stream.
+bool next_entry_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '%') continue;          // interleaved comment
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -40,10 +75,8 @@ Coo read_matrix_market(std::istream& in) {
                       symmetry == "skew-symmetric",
                   "unsupported symmetry: " << symmetry);
 
-  // Skip comments.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
-  }
+  // Skip comments and blank lines to the size line.
+  E2ELU_CHECK_MSG(next_entry_line(in, line), "missing size line");
   long rows = 0, cols = 0, declared_nnz = 0;
   {
     std::istringstream sizes(line);
@@ -56,13 +89,25 @@ Coo read_matrix_market(std::istream& in) {
 
   Coo coo;
   coo.n = static_cast<index_t>(rows);
-  coo.entries.reserve(static_cast<std::size_t>(declared_nnz));
+  // Symmetric and skew-symmetric files mirror every off-diagonal entry on
+  // expansion, so declared_nnz alone under-reserves by up to 2x and the
+  // vector reallocates mid-parse; reserve for the expanded worst case.
+  const std::size_t expansion = symmetry == "general" ? 1 : 2;
+  coo.entries.reserve(static_cast<std::size_t>(declared_nnz) * expansion);
   const bool has_value = field != "pattern";
   for (long k = 0; k < declared_nnz; ++k) {
+    E2ELU_CHECK_MSG(next_entry_line(in, line),
+                    "truncated entry list: got " << k << " of "
+                                                 << declared_nnz << " entries");
+    std::istringstream entry(line);
     long i = 0, j = 0;
+    E2ELU_CHECK_MSG(entry >> i >> j, "malformed entry line: " << line);
     double v = 1.0;
-    E2ELU_CHECK_MSG(in >> i >> j, "truncated entry list at entry " << k);
-    if (has_value) E2ELU_CHECK_MSG(in >> v, "missing value at entry " << k);
+    if (has_value) {
+      std::string token;
+      E2ELU_CHECK_MSG(entry >> token, "missing value at entry " << k);
+      v = parse_mm_value(std::move(token), k);
+    }
     E2ELU_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
                     "entry (" << i << "," << j << ") out of range");
     const index_t r = static_cast<index_t>(i - 1);

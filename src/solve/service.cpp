@@ -1,0 +1,168 @@
+#include "solve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/check.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace e2elu::solve {
+
+SolverService::SolverService(gpusim::Device& device,
+                             const FactorResult& factorization,
+                             SolverServiceOptions options)
+    : opt_(options),
+      factors_(factorization),
+      solver_(device, factors_),
+      batched_(solver_),
+      device_(&device) {
+  E2ELU_CHECK_MSG(opt_.max_batch >= 1, "max_batch must be at least 1");
+  E2ELU_CHECK_MSG(opt_.max_queue >= 1, "max_queue must be at least 1");
+  drainer_ = std::thread([this] { drainer_loop(); });
+}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  drainer_.join();
+}
+
+std::future<std::vector<value_t>> SolverService::submit(
+    std::vector<value_t> b) {
+  E2ELU_CHECK_MSG(
+      b.size() == static_cast<std::size_t>(solver_.factorization().n),
+      "submit: rhs size " << b.size() << " does not match system order "
+                          << solver_.factorization().n);
+  Request req;
+  req.b = std::move(b);
+  std::future<std::vector<value_t>> future = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return queue_.size() < opt_.max_queue || stop_; });
+    E2ELU_CHECK_MSG(!stop_, "submit on a stopping SolverService");
+    queue_.push_back(std::move(req));
+    ++stats_.requests;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  }
+  cv_work_.notify_one();
+  return future;
+}
+
+void SolverService::rebind(const FactorResult& factorization) {
+  // Taking solve_mutex_ waits out any in-flight batch, so the snapshot
+  // swap never races a level sweep reading the old factor values.
+  std::lock_guard<std::mutex> solve_lock(solve_mutex_);
+  // Validate against the live binding before overwriting the snapshot, so
+  // a mismatched rebind throws with the old factors still intact.
+  E2ELU_CHECK_MSG(factorization.n == factors_.n,
+                  "rebind: system order changed (" << factors_.n << " -> "
+                                                   << factorization.n << ")");
+  E2ELU_CHECK_MSG(same_pattern(factorization.l, factors_.l) &&
+                      same_pattern(factorization.u, factors_.u),
+                  "rebind: factor sparsity pattern changed");
+  factors_ = factorization;
+  solver_.rebind(factors_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.rebinds;
+}
+
+void SolverService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+SolverServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SolverService::run_batch(std::vector<Request> batch) {
+  const index_t num_rhs = static_cast<index_t>(batch.size());
+  const std::size_t n =
+      static_cast<std::size_t>(solver_.factorization().n);
+  std::vector<value_t> block(n * batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    std::copy(batch[r].b.begin(), batch[r].b.end(), block.begin() + r * n);
+  }
+  try {
+    std::lock_guard<std::mutex> solve_lock(solve_mutex_);
+    TRACE_SPAN("solve.service.batch", *device_,
+               {{"rhs", num_rhs}, {"n", solver_.factorization().n}});
+    const std::vector<value_t> x = batched_.solve_many(block, num_rhs);
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      batch[r].promise.set_value(std::vector<value_t>(
+          x.begin() + static_cast<std::ptrdiff_t>(r * n),
+          x.begin() + static_cast<std::ptrdiff_t>((r + 1) * n)));
+    }
+  } catch (...) {
+    // A singular diagonal (or any solver failure) fails the whole batch:
+    // every caller in it sees the exception through its future.
+    const std::exception_ptr error = std::current_exception();
+    for (Request& req : batch) req.promise.set_exception(error);
+  }
+
+  const std::uint64_t saved =
+      (static_cast<std::uint64_t>(num_rhs) - 1) * batched_.launches_per_batch();
+  auto& registry = trace::MetricsRegistry::global();
+  registry.histogram("solver_service.batch_size")
+      .record(static_cast<double>(num_rhs));
+  registry.counter("solver_service.launches_saved").add(saved);
+  registry.counter("solver_service.batches").add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.launches_saved += saved;
+  }
+}
+
+void SolverService::drainer_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) {
+        // stop_ with an empty queue: every submitted request is solved.
+        cv_idle_.notify_all();
+        return;
+      }
+      // Linger for co-arrivals: wait until the batch fills or the window
+      // after the first queued request closes. On shutdown the window
+      // collapses so the queue drains promptly.
+      if (opt_.max_wait_us > 0) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(opt_.max_wait_us);
+        cv_work_.wait_until(lock, deadline, [&] {
+          return queue_.size() >=
+                     static_cast<std::size_t>(opt_.max_batch) ||
+                 stop_;
+        });
+      }
+      trace::MetricsRegistry::global()
+          .histogram("solver_service.queue_depth")
+          .record(static_cast<double>(queue_.size()));
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(opt_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      busy_ = true;
+    }
+    cv_space_.notify_all();
+    run_batch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace e2elu::solve

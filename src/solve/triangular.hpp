@@ -43,10 +43,17 @@ class TriangularSolver {
 
   index_t num_levels() const { return schedule_.num_levels(); }
   /// Work items performed by this solver's kernels, summed over all
-  /// solve() calls.
+  /// solve() calls — including batched sweeps run through a
+  /// BatchedTriangularSolver bound to this solver, which count once per
+  /// (row, rhs) so one B-wide batch reports exactly B times the work of
+  /// one solve().
   std::uint64_t ops() const { return ops_; }
 
  private:
+  /// The batched sweep reuses this solver's cached schedule, diagonal
+  /// positions, and ops accounting rather than duplicating them.
+  friend class BatchedTriangularSolver;
+
   gpusim::Device* device_;
   const Csr* factor_;
   bool lower_;

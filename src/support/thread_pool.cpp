@@ -65,6 +65,8 @@ void ThreadPool::parallel_for_ranges(
     fn(0, count, 0);
     return;
   }
+  // One submission owns the pool at a time; concurrent callers queue here.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   Task task;
   task.body = &fn;
   task.count = count;

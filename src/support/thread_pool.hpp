@@ -40,6 +40,11 @@ class ThreadPool {
   /// Runs fn(begin, end, worker_id) once per contiguous sub-range, with
   /// worker_id in [0, num_threads()). Useful when the body wants
   /// per-worker accumulators.
+  ///
+  /// Safe to call from multiple threads: concurrent submissions serialize
+  /// on an internal mutex (single-stream device semantics — the
+  /// SolverService drainer launches kernels while application threads use
+  /// their own devices). Do not call from inside a running task body.
   void parallel_for_ranges(
       std::size_t count,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
@@ -63,6 +68,9 @@ class ThreadPool {
   void run_task(Task& task, std::size_t worker_id);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole parallel_for submissions from concurrent callers;
+  /// the pool's task slot (current_/generation_) holds one task at a time.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -120,6 +120,55 @@ TEST(MatrixMarket, PatternGetsUnitValues) {
   EXPECT_DOUBLE_EQ(get_entry(a, 0, 0), 1.0);
 }
 
+TEST(MatrixMarket, FortranExponentsAndBlankLinesParse) {
+  // Real SuiteSparse exports contain Fortran-style D exponents, blank
+  // lines and stray comments inside the entry list, and CRLF endings.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% Fortran-era export\n"
+      "\n"
+      "3 3 4\r\n"
+      "1 1 1.0D+00\n"
+      "\n"
+      "2 2 -2.5d-01\r\n"
+      "% interleaved comment\n"
+      "3 3 4.0E+00\n"
+      "1 3 0.5\n");
+  const Csr a = coo_to_csr(read_matrix_market(ss));
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 1, 1), -0.25);
+  EXPECT_DOUBLE_EQ(get_entry(a, 2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 2), 0.5);
+}
+
+TEST(MatrixMarket, SkewSymmetricMirrorsNegated) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 3.0\n"
+      "3 2 -1.5\n");
+  const Csr a = coo_to_csr(read_matrix_market(ss));
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(get_entry(a, 1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 0, 1), -3.0);
+  EXPECT_DOUBLE_EQ(get_entry(a, 2, 1), -1.5);
+  EXPECT_DOUBLE_EQ(get_entry(a, 1, 2), 1.5);
+}
+
+TEST(MatrixMarket, RejectsMalformedValueToken) {
+  std::stringstream garbage(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0x\n");
+  EXPECT_THROW(read_matrix_market(garbage), Error);
+  std::stringstream empty_exp(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0D\n");
+  EXPECT_THROW(read_matrix_market(empty_exp), Error);
+}
+
 TEST(MatrixMarket, RejectsRectangularAndMalformed) {
   std::stringstream rect(
       "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n");
