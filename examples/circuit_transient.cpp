@@ -21,6 +21,7 @@
 // batch instead of per vector — while the Newton loop keeps rebinding the
 // service to freshly refactorized values.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <future>
@@ -53,6 +54,10 @@ int main() {
               static_cast<double>(f.fill_nnz) / g.nnz(),
               factor_timer.millis());
 
+  // Worst residual across every sampled step, in every part; the example
+  // exits nonzero if any solve drifts past the bound.
+  double worst_residual = 0;
+
   // Transient loop: a 1 kHz source drives node 0; watch node n-1 settle.
   const int steps = 200;
   std::vector<value_t> b(static_cast<std::size_t>(n), 0);
@@ -64,9 +69,11 @@ int main() {
     const std::vector<value_t> v = SparseLU::solve(f, b);
     checksum += v[n - 1];
     if (t % 50 == 0) {
+      const double residual = SparseLU::residual(g, v, b);
+      worst_residual = std::max(worst_residual, residual);
       std::printf("  step %3d: v[0]=%+.4f  v[n/2]=%+.4f  v[n-1]=%+.6f "
                   "(residual %.2e)\n",
-                  t, v[0], v[n / 2], v[n - 1], SparseLU::residual(g, v, b));
+                  t, v[0], v[n / 2], v[n - 1], residual);
     }
   }
   std::printf("%d transient steps in %.0f ms (%.2f ms/step); checksum %.6f\n",
@@ -100,12 +107,14 @@ int main() {
     const std::vector<value_t> v = solver.solve(b);
     drift_checksum += v[n - 1];
     if (t % 10 == 0 || t == 1) {
+      const double residual = SparseLU::residual(g_t, v, b);
+      worst_residual = std::max(worst_residual, residual);
       std::printf("  step %3d: %s sim %.0f us (full pipeline %.0f us, "
                   "%.1fx less), pivot growth %.2f, residual %.2e\n",
                   t, rep.reused ? "refactorize" : "fallback",
                   rep.total_sim_us(), full_sim_us,
                   full_sim_us / rep.total_sim_us(), rep.pivot_growth,
-                  SparseLU::residual(g_t, v, b));
+                  residual);
     }
   }
   const refactor::RefactorStats& rs = refac.stats();
@@ -168,6 +177,17 @@ int main() {
                 static_cast<unsigned long long>(ss.launches_saved),
                 static_cast<unsigned long long>(ss.rebinds),
                 ss.max_queue_depth, sum);
+    if (!std::isfinite(sum)) {
+      std::printf("FAIL: service checksum is not finite\n");
+      return 1;
+    }
+  }
+  if (!(worst_residual <= 1e-8) || !std::isfinite(checksum) ||
+      !std::isfinite(drift_checksum)) {
+    std::printf("FAIL: worst sampled residual %.3e exceeds 1e-8 or a "
+                "checksum is not finite\n",
+                worst_residual);
+    return 1;
   }
   return 0;
 }

@@ -79,7 +79,8 @@ int main(int argc, char** argv) {
   std::vector<value_t> b(static_cast<std::size_t>(a.n));
   for (auto& v : b) v = static_cast<value_t>(rng.next_double(-1.0, 1.0));
   const std::vector<value_t> x = SparseLU::solve(f, b);
-  std::printf("solve residual: %.3e\n", SparseLU::residual(a, x, b));
+  const double residual = SparseLU::residual(a, x, b);
+  std::printf("solve residual: %.3e\n", residual);
 
   // Device-side solve with iterative refinement: the refiner tests the
   // inf-norm residual before every correction and exits as soon as it
@@ -89,11 +90,19 @@ int main(int argc, char** argv) {
   solve::RefineReport refine;
   const std::vector<value_t> xr =
       solver.solve_refined(a, b, /*max_iters=*/3, /*tol=*/1e-14, &refine);
+  const double refined_residual = SparseLU::residual(a, xr, b);
   std::printf("refined solve: %d correction sweep%s, relative residual "
               "%.3e (%s); final residual %.3e\n",
               refine.iterations, refine.iterations == 1 ? "" : "s",
               refine.residual_inf,
               refine.converged ? "converged" : "iteration budget",
-              SparseLU::residual(a, xr, b));
+              refined_residual);
+  // The bound is loose on purpose: user-supplied matrices may be poorly
+  // conditioned, but a static-pivot LU that "solved" to worse than 1e-6
+  // relative residual did not verify.
+  if (!(residual <= 1e-6) || !(refined_residual <= 1e-6)) {
+    std::printf("FAIL: solve residual exceeds 1e-6\n");
+    return 1;
+  }
   return 0;
 }

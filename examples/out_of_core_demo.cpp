@@ -32,10 +32,13 @@ int main() {
   std::printf("device memory: %zu MiB -> full scratch does not fit\n",
               dev.spec().memory_bytes >> 20);
 
+  bool ok = true;
+
   // (1) Naive allocation fails.
   try {
     gpusim::DeviceBuffer<index_t> naive(dev, full / sizeof(index_t));
     std::printf("unexpected: naive allocation succeeded\n");
+    ok = false;
   } catch (const gpusim::OutOfDeviceMemory& oom) {
     std::printf("(1) naive full allocation: OutOfDeviceMemory as expected\n");
   }
@@ -51,18 +54,26 @@ int main() {
   gpusim::Device dev_dyn(dev.spec());
   const symbolic::SymbolicResult dyn =
       symbolic::symbolic_out_of_core_dynamic(dev_dyn, a);
+  const bool dyn_same = same_pattern(ooc.filled, dyn.filled);
+  ok = ok && dyn_same;
   std::printf("(3) dynamic assignment: identical pattern=%s, %d iterations, "
               "%.0fus simulated\n",
-              same_pattern(ooc.filled, dyn.filled) ? "yes" : "NO",
-              dyn.num_chunks, dev_dyn.stats().sim_total_us());
+              dyn_same ? "yes" : "NO", dyn.num_chunks,
+              dev_dyn.stats().sim_total_us());
 
   // (4) Unified memory.
   gpusim::Device dev_um(dev.spec());
   const symbolic::SymbolicResult um =
       symbolic::symbolic_unified_memory(dev_um, a, /*prefetch=*/true);
+  const bool um_same = same_pattern(ooc.filled, um.filled);
+  ok = ok && um_same;
   std::printf("(4) unified memory: identical pattern=%s\n",
-              same_pattern(ooc.filled, um.filled) ? "yes" : "NO");
+              um_same ? "yes" : "NO");
   std::fflush(stdout);
   analysis::print(std::cout, dev_um.stats());
+  if (!ok) {
+    std::printf("FAIL: verification failed (see above)\n");
+    return 1;
+  }
   return 0;
 }

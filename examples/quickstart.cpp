@@ -48,7 +48,11 @@ int main() {
     }
   }
   const std::vector<value_t> x = SparseLU::solve(f, b);
-  std::printf("relative residual ||Ax-b||/||b|| = %.3e\n",
-              SparseLU::residual(a, x, b));
+  const double residual = SparseLU::residual(a, x, b);
+  std::printf("relative residual ||Ax-b||/||b|| = %.3e\n", residual);
+  if (!(residual <= 1e-10)) {
+    std::printf("FAIL: residual exceeds 1e-10\n");
+    return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "matrix/convert.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu {
@@ -93,32 +94,65 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   WallTimer t_sym;
   double sim_before = dev.stats().sim_total_us();
   symbolic::SymbolicResult sym;
+  bool symbolic_on_device = options_.mode != Mode::CpuBaseline;
   {
     trace::Span span_sym("symbolic", dev, {{"mode", mode_name(options_.mode)}});
-    switch (options_.mode) {
-      case Mode::OutOfCoreGpu:
-        sym = symbolic::symbolic_out_of_core(dev, a, options_.symbolic);
-        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
+    const int max_attempts =
+        options_.recovery.enabled ? options_.recovery.max_symbolic_attempts : 1;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        if (attempt == 0) {
+          switch (options_.mode) {
+            case Mode::OutOfCoreGpu:
+              sym = symbolic::symbolic_out_of_core(dev, a, options_.symbolic);
+              break;
+            case Mode::OutOfCoreGpuDynamic:
+              sym = symbolic::symbolic_out_of_core_dynamic(dev, a,
+                                                           options_.symbolic);
+              break;
+            case Mode::UnifiedMemoryGpu:
+              sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/true,
+                                                      options_.symbolic);
+              break;
+            case Mode::UnifiedMemoryGpuNoPrefetch:
+              sym = symbolic::symbolic_unified_memory(
+                  dev, a, /*prefetch=*/false, options_.symbolic);
+              break;
+            case Mode::CpuBaseline:
+              sym = symbolic::symbolic_cpu(a);
+              break;
+          }
+        } else {
+          // Recovery: re-plan through the Algorithm 4 multipart planner
+          // with an escalating part count. Every doubling bounds more
+          // rows' queues, shrinking the per-row scratch the failed
+          // attempt could not fit; the result pattern is identical.
+          sym = symbolic::symbolic_out_of_core_multipart(
+              dev, a, static_cast<index_t>(1) << attempt, options_.symbolic);
+          symbolic_on_device = true;
+        }
         break;
-      case Mode::OutOfCoreGpuDynamic:
-        sym = symbolic::symbolic_out_of_core_dynamic(dev, a, options_.symbolic);
-        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-        break;
-      case Mode::UnifiedMemoryGpu:
-        sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/true,
-                                                options_.symbolic);
-        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-        break;
-      case Mode::UnifiedMemoryGpuNoPrefetch:
-        sym = symbolic::symbolic_unified_memory(dev, a, /*prefetch=*/false,
-                                                options_.symbolic);
-        res.symbolic.sim_us = dev.stats().sim_total_us() - sim_before;
-        break;
-      case Mode::CpuBaseline:
-        sym = symbolic::symbolic_cpu(a);
-        res.symbolic.sim_us = options_.host.time_us(sym.ops);
-        break;
+      } catch (const gpusim::OutOfDeviceMemory& e) {
+        if (attempt + 1 >= max_attempts) {
+          throw FactorError(FaultKind::DeviceOutOfMemory, "symbolic",
+                            e.what());
+        }
+        ++res.symbolic_replans;
+        ++res.recovery_retries;
+        trace::MetricsRegistry::global()
+            .counter("recovery.symbolic.replan")
+            .add(1);
+      } catch (const gpusim::LaunchFailure& e) {
+        if (attempt + 1 >= max_attempts) {
+          throw FactorError(FaultKind::LaunchFailed, "symbolic", e.what());
+        }
+        ++res.recovery_retries;
+        trace::MetricsRegistry::global().counter("recovery.launch_retry").add(1);
+      }
     }
+    res.symbolic.sim_us = symbolic_on_device
+                              ? dev.stats().sim_total_us() - sim_before
+                              : options_.host.time_us(sym.ops);
     span_sym.attr("chunks", sym.num_chunks);
     span_sym.attr("fill_nnz", sym.filled.nnz());
   }
@@ -133,33 +167,56 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   scheduling::LevelSchedule schedule;
   {
     trace::Span span_lvl("levelize", dev);
-    const scheduling::DependencyGraph graph =
-        scheduling::build_dependency_graph(sym.filled,
-                                           options_.dependency_rule);
-    if (options_.mode == Mode::CpuBaseline) {
-      schedule = scheduling::levelize_sequential(graph);
-      res.levelize.ops =
-          static_cast<std::uint64_t>(graph.n) +
-          static_cast<std::uint64_t>(graph.num_edges());
-      // Previous work runs levelization single-threaded on the host.
-      res.levelize.sim_us = static_cast<double>(res.levelize.ops) /
-                            options_.host.ops_per_us_per_thread;
-    } else {
-      // cons_graph (Algorithm 5 line 14): the dependency graph is built
-      // on-device from the filled pattern.
-      dev.launch({.name = "cons_graph",
-                  .blocks = std::max<index_t>(1, (n + 255) / 256),
-                  .threads_per_block = 256},
-                 [&](std::int64_t b, gpusim::KernelContext& ctx) {
-                   const index_t lo = static_cast<index_t>(b) * 256;
-                   const index_t hi = std::min(n, lo + 256);
-                   ctx.add_ops(static_cast<std::uint64_t>(
-                       graph.adj_ptr[hi] - graph.adj_ptr[lo]));
-                 });
-      const std::uint64_t ops_before_lvl = dev.stats().kernel_ops;
-      schedule = scheduling::levelize_gpu_dynamic(dev, graph);
-      res.levelize.ops = dev.stats().kernel_ops - ops_before_lvl;
-      res.levelize.sim_us = dev.stats().sim_total_us() - sim_before;
+    // Levelization allocates nothing persistent, so one straight retry
+    // covers transient (injected) faults before giving up.
+    const int max_attempts = options_.recovery.enabled ? 2 : 1;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        const scheduling::DependencyGraph graph =
+            scheduling::build_dependency_graph(sym.filled,
+                                               options_.dependency_rule);
+        if (options_.mode == Mode::CpuBaseline) {
+          schedule = scheduling::levelize_sequential(graph);
+          res.levelize.ops =
+              static_cast<std::uint64_t>(graph.n) +
+              static_cast<std::uint64_t>(graph.num_edges());
+          // Previous work runs levelization single-threaded on the host.
+          res.levelize.sim_us = static_cast<double>(res.levelize.ops) /
+                                options_.host.ops_per_us_per_thread;
+        } else {
+          // cons_graph (Algorithm 5 line 14): the dependency graph is built
+          // on-device from the filled pattern.
+          dev.launch({.name = "cons_graph",
+                      .blocks = std::max<index_t>(1, (n + 255) / 256),
+                      .threads_per_block = 256},
+                     [&](std::int64_t b, gpusim::KernelContext& ctx) {
+                       const index_t lo = static_cast<index_t>(b) * 256;
+                       const index_t hi = std::min(n, lo + 256);
+                       ctx.add_ops(static_cast<std::uint64_t>(
+                           graph.adj_ptr[hi] - graph.adj_ptr[lo]));
+                     });
+          const std::uint64_t ops_before_lvl = dev.stats().kernel_ops;
+          schedule = scheduling::levelize_gpu_dynamic(dev, graph);
+          res.levelize.ops = dev.stats().kernel_ops - ops_before_lvl;
+          res.levelize.sim_us = dev.stats().sim_total_us() - sim_before;
+        }
+        break;
+      } catch (const gpusim::OutOfDeviceMemory& e) {
+        if (attempt + 1 >= max_attempts) {
+          throw FactorError(FaultKind::DeviceOutOfMemory, "levelize",
+                            e.what());
+        }
+        ++res.recovery_retries;
+        trace::MetricsRegistry::global()
+            .counter("recovery.levelize.retry")
+            .add(1);
+      } catch (const gpusim::LaunchFailure& e) {
+        if (attempt + 1 >= max_attempts) {
+          throw FactorError(FaultKind::LaunchFailed, "levelize", e.what());
+        }
+        ++res.recovery_retries;
+        trace::MetricsRegistry::global().counter("recovery.launch_retry").add(1);
+      }
     }
     span_lvl.attr("levels", schedule.num_levels());
   }
@@ -169,10 +226,6 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   // ---- Numeric factorization (§3.4).
   WallTimer t_num;
   sim_before = dev.stats().sim_total_us();
-  numeric::FactorMatrix fm = [&] {
-    TRACE_SPAN("numeric.build", dev);
-    return numeric::FactorMatrix::build(sym.filled, a);
-  }();
   bool use_sparse;
   switch (options_.numeric_format) {
     case NumericFormat::DenseWindow:
@@ -186,19 +239,84 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
       use_sparse = numeric::should_use_sparse_format(options_.device, n);
       break;
   }
-  res.used_sparse_numeric = use_sparse;
-  {
-    trace::Span span_num("numeric", dev,
-                         {{"format", use_sparse ? "sparse" : "dense"},
-                          {"levels", schedule.num_levels()}});
-    const numeric::NumericStats nstats =
-        use_sparse
-            ? numeric::factorize_sparse_bsearch(dev, fm, schedule,
-                                                options_.numeric)
-            : numeric::factorize_dense_window(dev, fm, schedule,
-                                              options_.numeric);
-    res.numeric.ops = nstats.ops;
+  const int max_numeric =
+      options_.recovery.enabled ? options_.recovery.max_numeric_attempts : 1;
+  numeric::FactorMatrix fm;
+  std::vector<index_t> perturbed_cols;
+  index_t last_zero_col = -1;
+  for (int attempt = 0;; ++attempt) {
+    // A failed elimination leaves As partially updated, so every attempt
+    // rebuilds the values from A; perturbed diagonals are re-applied on
+    // top of the fresh scatter.
+    {
+      TRACE_SPAN("numeric.build", dev);
+      fm = numeric::FactorMatrix::build(sym.filled, a);
+    }
+    const value_t bump = options_.diag_patch.value_or(value_t{1});
+    for (const index_t c : perturbed_cols) {
+      fm.csc.values[static_cast<std::size_t>(fm.diag_pos[c])] += bump;
+    }
+    try {
+      trace::Span span_num("numeric", dev,
+                           {{"format", use_sparse ? "sparse" : "dense"},
+                            {"levels", schedule.num_levels()}});
+      const numeric::NumericStats nstats =
+          use_sparse
+              ? numeric::factorize_sparse_bsearch(dev, fm, schedule,
+                                                  options_.numeric)
+              : numeric::factorize_dense_window(dev, fm, schedule,
+                                                options_.numeric);
+      res.numeric.ops = nstats.ops;
+      break;
+    } catch (const numeric::ZeroPivotError& e) {
+      if (attempt + 1 >= max_numeric) {
+        throw FactorError(FaultKind::ZeroPivot, "numeric", e.what(),
+                          e.column());
+      }
+      ++res.recovery_retries;
+      if (e.column() == last_zero_col) {
+        // The same column failed twice, so this is no transient fault:
+        // bump its starting diagonal (the §4.4 patch value) and re-run —
+        // the refactor engine's instability fallback, extended to
+        // first-time factorization.
+        perturbed_cols.push_back(e.column());
+        ++res.pivot_perturbations;
+        trace::MetricsRegistry::global()
+            .counter("recovery.numeric.pivot_perturb")
+            .add(1);
+      } else {
+        last_zero_col = e.column();
+        trace::MetricsRegistry::global()
+            .counter("recovery.numeric.retry")
+            .add(1);
+      }
+    } catch (const gpusim::OutOfDeviceMemory& e) {
+      if (attempt + 1 >= max_numeric) {
+        throw FactorError(FaultKind::DeviceOutOfMemory, "numeric", e.what());
+      }
+      ++res.recovery_retries;
+      if (!use_sparse) {
+        // The dense window is the memory-hungry format; the sparse
+        // binary-search path (§3.4) has no resident-window allocation, so
+        // falling back to it is the structural answer to numeric OOM.
+        use_sparse = true;
+        trace::MetricsRegistry::global()
+            .counter("recovery.numeric.format_fallback")
+            .add(1);
+      } else {
+        trace::MetricsRegistry::global()
+            .counter("recovery.numeric.retry")
+            .add(1);
+      }
+    } catch (const gpusim::LaunchFailure& e) {
+      if (attempt + 1 >= max_numeric) {
+        throw FactorError(FaultKind::LaunchFailed, "numeric", e.what());
+      }
+      ++res.recovery_retries;
+      trace::MetricsRegistry::global().counter("recovery.launch_retry").add(1);
+    }
   }
+  res.used_sparse_numeric = use_sparse;
   res.numeric.sim_us = dev.stats().sim_total_us() - sim_before;
   res.numeric.wall_ms = t_num.millis();
 

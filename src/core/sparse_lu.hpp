@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/factor_error.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/spec.hpp"
 #include "matrix/csr.hpp"
@@ -46,6 +47,23 @@ enum class NumericFormat {
 
 enum class Ordering { None, Rcm, MinDegree };
 
+/// Retry budgets for the per-phase recovery loops. Device faults (OOM,
+/// lost launches) and numeric breakdowns (zero pivots) are retried with
+/// escalating counter-measures — re-planned symbolic partitioning, a
+/// numeric format fallback, diagonal perturbation — before factorize()
+/// gives up with a FactorError. Disabling recovery makes the first raw
+/// failure propagate unchanged, which is what most unit tests want.
+struct RecoveryOptions {
+  bool enabled = true;
+  /// Symbolic attempts. Attempt k >= 1 re-plans through the Algorithm 4
+  /// multipart planner with 2^k partitions: bounded queues shrink the
+  /// scratch footprint, which is the principled answer to symbolic OOM.
+  int max_symbolic_attempts = 4;
+  /// Numeric attempts (covers transient faults, one perturbation round,
+  /// and the dense -> sparse format fallback).
+  int max_numeric_attempts = 4;
+};
+
 struct Options {
   Mode mode = Mode::OutOfCoreGpu;
   NumericFormat numeric_format = NumericFormat::Auto;
@@ -66,6 +84,7 @@ struct Options {
 
   symbolic::SymbolicOptions symbolic;
   numeric::NumericOptions numeric;
+  RecoveryOptions recovery;
 };
 
 /// Per-phase cost accounting. `sim_us` is modeled device/host time from
@@ -88,6 +107,11 @@ struct FactorResult {
   index_t num_levels = 0;
   index_t symbolic_chunks = 0;     ///< out-of-core iterations used
   bool used_sparse_numeric = false;
+
+  /// Recovery accounting (all zero on a clean run).
+  index_t symbolic_replans = 0;      ///< multipart re-plans after device OOM
+  index_t pivot_perturbations = 0;   ///< diagonals bumped to unblock a pivot
+  index_t recovery_retries = 0;      ///< total phase retries of any kind
 
   PhaseReport preprocess, symbolic, levelize, numeric;
   gpusim::DeviceStats device_stats;  ///< whole-pipeline device counters

@@ -1,0 +1,214 @@
+#include "fault/fault.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "trace/metrics.hpp"
+
+namespace e2elu::fault {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& clause) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used);
+    E2ELU_CHECK(used == value.size());
+    return v;
+  } catch (...) {
+    throw Error("fault plan: bad integer in clause \"" + clause + "\"");
+  }
+}
+
+double parse_double(const std::string& value, const std::string& clause) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    E2ELU_CHECK(used == value.size());
+    return v;
+  } catch (...) {
+    throw Error("fault plan: bad number in clause \"" + clause + "\"");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = trim(std::string_view(spec).substr(pos, end - pos));
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw Error("fault plan: clause \"" + clause + "\" is not key=value");
+    }
+    const std::string key = trim(clause.substr(0, eq));
+    const std::string value = trim(clause.substr(eq + 1));
+    if (key == "seed") {
+      plan.seed = parse_u64(value, clause);
+    } else if (key == "alloc") {
+      const std::uint64_t site = parse_u64(value, clause);
+      if (site == 0) throw Error("fault plan: alloc sites are 1-based");
+      plan.fail_allocs.push_back(site);
+    } else if (key == "alloc_prob") {
+      const double p = parse_double(value, clause);
+      if (p < 0 || p > 1) {
+        throw Error("fault plan: alloc_prob outside [0,1] in \"" + clause +
+                    "\"");
+      }
+      plan.alloc_probability = p;
+    } else if (key == "launch") {
+      FaultPlan::LaunchClause c;
+      const std::size_t at = value.rfind('@');
+      if (at == std::string::npos) {
+        c.pattern = value;
+      } else {
+        c.pattern = trim(value.substr(0, at));
+        c.nth = parse_u64(trim(value.substr(at + 1)), clause);
+        if (c.nth == 0) throw Error("fault plan: launch ordinal is 1-based");
+      }
+      if (c.pattern.empty()) {
+        throw Error("fault plan: empty launch pattern in \"" + clause + "\"");
+      }
+      plan.fail_launches.push_back(std::move(c));
+    } else if (key == "pivot_zero" || key == "pivot_nan") {
+      FaultPlan::PivotClause c;
+      c.column = static_cast<index_t>(parse_u64(value, clause));
+      c.nan = (key == "pivot_nan");
+      plan.pivots.push_back(c);
+    } else if (key == "fault_cost") {
+      const double m = parse_double(value, clause);
+      if (m <= 0) {
+        throw Error("fault plan: fault_cost must be positive in \"" + clause +
+                    "\"");
+      }
+      plan.um_fault_cost = m;
+    } else {
+      throw Error("fault plan: unknown clause \"" + clause + "\"");
+    }
+  }
+  return plan;
+}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  alloc_count_ = 0;
+  launch_count_ = 0;
+  events_.clear();
+  um_cost_.store(plan_.um_fault_cost, std::memory_order_relaxed);
+  trace::MetricsRegistry::global()
+      .gauge("fault.um_cost_multiplier")
+      .set(plan_.um_fault_cost);
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void Injector::disarm() {
+  detail::g_armed.store(false, std::memory_order_release);
+  um_cost_.store(1.0, std::memory_order_relaxed);
+}
+
+bool Injector::should_fail_alloc(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t site = ++alloc_count_;
+  bool fail = false;
+  for (auto it = plan_.fail_allocs.begin(); it != plan_.fail_allocs.end();
+       ++it) {
+    if (*it == site) {
+      plan_.fail_allocs.erase(it);  // one-shot
+      fail = true;
+      break;
+    }
+  }
+  if (!fail && plan_.alloc_probability > 0) {
+    // Per-site generator keyed on (seed, site): the decision depends only
+    // on the plan and the site index, never on thread timing.
+    Rng rng(plan_.seed ^ (site * 0x9e3779b97f4a7c15ULL));
+    fail = rng.next_double() < plan_.alloc_probability;
+  }
+  if (fail) {
+    events_.push_back(
+        {SiteKind::Alloc, site, "bytes=" + std::to_string(bytes)});
+    trace::MetricsRegistry::global().counter("fault.injected.alloc").add(1);
+  }
+  return fail;
+}
+
+bool Injector::should_fail_launch(const char* kernel_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t site = ++launch_count_;
+  const std::string_view name(kernel_name == nullptr ? "kernel" : kernel_name);
+  for (auto& c : plan_.fail_launches) {
+    if (c.spent || name.find(c.pattern) == std::string_view::npos) continue;
+    if (++c.seen < c.nth) continue;
+    c.spent = true;
+    events_.push_back({SiteKind::Launch, site, std::string(name)});
+    trace::MetricsRegistry::global().counter("fault.injected.launch").add(1);
+    return true;
+  }
+  return false;
+}
+
+std::optional<double> Injector::pivot_override(index_t column) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& c : plan_.pivots) {
+    if (c.spent || c.column != column) continue;
+    c.spent = true;
+    events_.push_back({SiteKind::Pivot, static_cast<std::uint64_t>(column),
+                       c.nan ? "nan" : "zero"});
+    trace::MetricsRegistry::global().counter("fault.injected.pivot").add(1);
+    return c.nan ? std::numeric_limits<double>::quiet_NaN() : 0.0;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Injector::alloc_sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alloc_count_;
+}
+
+std::uint64_t Injector::launch_sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return launch_count_;
+}
+
+std::vector<InjectionEvent> Injector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+bool Injector::configure_from_env() {
+  const char* spec = std::getenv("E2ELU_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return false;
+  arm(FaultPlan::parse(spec));
+  return true;
+}
+
+namespace {
+// Mirrors the tracer's env-driven static init: setting E2ELU_FAULT_PLAN
+// arms any binary in the repo without code changes.
+[[maybe_unused]] const bool g_env_configured =
+    Injector::instance().configure_from_env();
+}  // namespace
+
+}  // namespace e2elu::fault

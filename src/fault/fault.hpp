@@ -1,0 +1,176 @@
+// Deterministic fault injection for the simulated-GPU pipeline.
+//
+// The out-of-core design of §3.2 exists because device memory runs out
+// mid-pipeline; this engine makes that class of failure — and its
+// neighbours — first-class and reproducible. A FaultPlan names the
+// faults to inject:
+//
+//   alloc=<k>            the k-th device allocation (1-based, counted from
+//                        arm time) throws OutOfDeviceMemory; one-shot
+//   alloc_prob=<p>       every allocation fails with probability p,
+//                        derived deterministically from seed + site index
+//   launch=<pat>[@<k>]   the k-th kernel launch whose name contains <pat>
+//                        throws LaunchFailure (default k=1); one-shot
+//   pivot_zero=<col>     the first pivot load of column <col> reads 0;
+//   pivot_nan=<col>      ... reads NaN; both one-shot
+//   fault_cost=<mult>    unified-memory page-fault service time is
+//                        multiplied by <mult> (models a thrashing bus)
+//   seed=<s>             seeds the probabilistic clauses
+//
+// Clauses are separated by ';' or ','. One-shot semantics make recovery
+// meaningful: a retried allocation or kernel succeeds, exactly like a
+// transient hardware fault. Every trigger is appended to an event log, so
+// a campaign can assert that the same seed + plan produces the identical
+// injection sequence run after run.
+//
+// Cost discipline: injection is disabled by default and every hook site
+// guards on fault::armed(), a single relaxed atomic load — no allocation,
+// no locking, no clock read on the hot path (tests assert the counters
+// stay untouched). Armed, hooks serialize on one mutex; campaigns measure
+// recovery behaviour, not peak throughput.
+//
+// Configuration: programmatic (Injector::instance().arm(plan), or the
+// RAII ScopedPlan for tests) or the E2ELU_FAULT_PLAN environment
+// variable, read once at process start.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace e2elu::fault {
+
+enum class SiteKind : std::uint8_t { Alloc, Launch, Pivot };
+
+/// One triggered injection, in trigger order. `site` is the value of the
+/// per-kind global counter at the trigger (the column id for pivots).
+struct InjectionEvent {
+  SiteKind kind = SiteKind::Alloc;
+  std::uint64_t site = 0;
+  std::string detail;
+
+  bool operator==(const InjectionEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// 1-based allocation indices that fail (each one-shot).
+  std::vector<std::uint64_t> fail_allocs;
+  /// Probability any single allocation fails (0 disables).
+  double alloc_probability = 0;
+
+  struct LaunchClause {
+    std::string pattern;      ///< substring of LaunchConfig::name
+    std::uint64_t nth = 1;    ///< fail the nth launch matching pattern
+    std::uint64_t seen = 0;   ///< matches observed so far
+    bool spent = false;
+  };
+  std::vector<LaunchClause> fail_launches;
+
+  struct PivotClause {
+    index_t column = 0;
+    bool nan = false;  ///< false: read 0; true: read quiet NaN
+    bool spent = false;
+  };
+  std::vector<PivotClause> pivots;
+
+  /// Multiplier on DeviceSpec::fault_group_us while armed.
+  double um_fault_cost = 1.0;
+
+  bool empty() const {
+    return fail_allocs.empty() && alloc_probability == 0 &&
+           fail_launches.empty() && pivots.empty() && um_fault_cost == 1.0;
+  }
+
+  /// Parses the clause DSL documented above; throws e2elu::Error on a
+  /// malformed clause.
+  static FaultPlan parse(const std::string& spec);
+};
+
+namespace detail {
+/// The global on/off switch (same discipline as trace::detail::g_armed): a
+/// bare atomic so the disabled fast path is one relaxed load.
+inline std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+/// True while a plan is armed — the guard every hook site checks before
+/// touching the Injector.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+class Injector {
+ public:
+  /// The process-wide injector.
+  static Injector& instance();
+
+  /// Installs `plan`, resets the site counters and the event log, and
+  /// arms the hooks. An empty plan is valid — "observe mode" counts sites
+  /// without injecting, which is how a campaign discovers how many
+  /// allocation sites a pipeline has.
+  void arm(FaultPlan plan);
+
+  /// Disarms the hooks. Counters and the event log survive until the next
+  /// arm() so a campaign can inspect them after the run.
+  void disarm();
+
+  /// Hook: called by Device::allocate while armed. Returns true when this
+  /// allocation must fail (the Device then throws OutOfDeviceMemory).
+  bool should_fail_alloc(std::size_t bytes);
+
+  /// Hook: called by Device::launch while armed. Returns true when this
+  /// launch must fail (the Device then throws LaunchFailure).
+  bool should_fail_launch(const char* kernel_name);
+
+  /// Hook: called by the numeric pivot loader while armed. A triggered
+  /// clause returns the corrupted pivot value (0 or NaN) exactly once.
+  std::optional<double> pivot_override(index_t column);
+
+  /// Hook: page-fault service-time multiplier (1.0 when no clause).
+  double um_fault_cost() const {
+    return um_cost_.load(std::memory_order_relaxed);
+  }
+
+  /// Sites observed since the last arm().
+  std::uint64_t alloc_sites() const;
+  std::uint64_t launch_sites() const;
+
+  /// Triggered injections since the last arm(), in order.
+  std::vector<InjectionEvent> events() const;
+
+  /// Arms from E2ELU_FAULT_PLAN when set (run once at static-init time so
+  /// any binary can be driven externally). Returns true when armed.
+  bool configure_from_env();
+
+ private:
+  Injector() = default;
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::uint64_t alloc_count_ = 0;
+  std::uint64_t launch_count_ = 0;
+  std::vector<InjectionEvent> events_;
+  std::atomic<double> um_cost_{1.0};
+};
+
+/// RAII arm/disarm, for tests and benches:
+///   fault::ScopedPlan plan("alloc=3;launch=symbolic_1@2");
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan plan) {
+    Injector::instance().arm(std::move(plan));
+  }
+  explicit ScopedPlan(const std::string& spec)
+      : ScopedPlan(FaultPlan::parse(spec)) {}
+  ~ScopedPlan() { Injector::instance().disarm(); }
+
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace e2elu::fault

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "support/thread_pool.hpp"
 
 namespace e2elu::gpusim {
@@ -30,6 +31,11 @@ void Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
                   "block size " << cfg.threads_per_block
                                 << " exceeds device limit");
   E2ELU_CHECK(cfg.warp_efficiency > 0.0 && cfg.warp_efficiency <= 1.0);
+
+  if (fault::armed() &&
+      fault::Injector::instance().should_fail_launch(cfg.name)) {
+    throw LaunchFailure(std::string("injected launch failure: ") + cfg.name);
+  }
 
   // Launch overhead is charged even for empty grids (a real launch would
   // still round-trip the driver).
@@ -77,7 +83,11 @@ void Device::record_page_fault(bool starts_new_group) {
   ++stats_.page_faults;
   if (starts_new_group) {
     ++stats_.page_fault_groups;
-    stats_.sim_fault_us += spec_.fault_group_us;
+    double cost = spec_.fault_group_us;
+    if (fault::armed()) {
+      cost *= fault::Injector::instance().um_fault_cost();
+    }
+    stats_.sim_fault_us += cost;
   }
 }
 
@@ -90,6 +100,12 @@ void Device::record_prefetch(std::size_t bytes) {
 }
 
 void Device::allocate(std::size_t bytes) {
+  if (fault::armed() &&
+      fault::Injector::instance().should_fail_alloc(bytes)) {
+    std::ostringstream os;
+    os << "injected device OOM: requested " << bytes << " bytes";
+    throw OutOfDeviceMemory(os.str());
+  }
   const std::size_t before = allocated_.fetch_add(bytes, std::memory_order_relaxed);
   if (before + bytes > spec_.memory_bytes) {
     allocated_.fetch_sub(bytes, std::memory_order_relaxed);

@@ -20,6 +20,15 @@ class OutOfDeviceMemory : public Error {
   using Error::Error;
 };
 
+/// Thrown when a kernel launch fails (in practice: only under fault
+/// injection — the simulated driver itself never loses a launch). Distinct
+/// from OutOfDeviceMemory so recovery policies can retry the launch
+/// without re-planning memory.
+class LaunchFailure : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Aggregated device counters and simulated time. All "sim_*" fields are
 /// microseconds derived from measured counts via DeviceSpec rates.
 struct DeviceStats {

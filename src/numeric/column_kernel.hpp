@@ -4,8 +4,10 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 
+#include "fault/fault.hpp"
 #include "numeric/numeric.hpp"
 #include "support/check.hpp"
 
@@ -23,6 +25,26 @@ inline void atomic_sub(value_t& slot, value_t delta) {
   while (!a.compare_exchange_weak(old, old - delta,
                                   std::memory_order_relaxed)) {
   }
+}
+
+/// Reads the pivot of column `j` through `slot` (the storage the executor
+/// divides by: As(j,j) in CSC, or the dense-window slot) and validates it.
+/// Every executor's division step goes through here, so this is both the
+/// single zero/NaN-pivot detection point and the fault-injection point: an
+/// armed pivot clause overwrites the stored value first, exactly as if the
+/// device had returned corrupted data. Throws ZeroPivotError — which the
+/// ThreadPool re-raises on the launching thread — on zero or non-finite.
+inline value_t load_pivot(value_t& slot, index_t j) {
+  if (fault::armed()) {
+    if (const auto v = fault::Injector::instance().pivot_override(j)) {
+      slot = static_cast<value_t>(*v);
+    }
+  }
+  const value_t diag = slot;
+  if (diag == value_t{0} || !std::isfinite(diag)) {
+    throw ZeroPivotError(j, diag);
+  }
+  return diag;
 }
 
 /// Algorithm 6: binary search for row `i` inside sorted CSC column `j`.
@@ -55,8 +77,7 @@ inline offset_t bsearch_position(const Csc& csc, index_t j, index_t i,
 inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
   std::uint64_t ops = 0;
   const offset_t dp = m.diag_pos[j];
-  const value_t diag = m.csc.values[dp];
-  E2ELU_CHECK_MSG(diag != value_t{0}, "zero pivot in column " << j);
+  const value_t diag = load_pivot(m.csc.values[dp], j);
 
   const offset_t col_end = m.csc.col_ptr[j + 1];
   for (offset_t p = dp + 1; p < col_end; ++p) {

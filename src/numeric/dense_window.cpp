@@ -99,8 +99,7 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
                                   gpusim::KernelContext& ctx) {
     std::uint64_t ops = 0;
     const index_t jslot = slot_of[j];
-    const value_t diag = dense_at(jslot, j);
-    E2ELU_CHECK_MSG(diag != value_t{0}, "zero pivot in column " << j);
+    const value_t diag = detail::load_pivot(dense_at(jslot, j), j);
     const offset_t dp = m.diag_pos[j];
     const offset_t col_end = m.csc.col_ptr[j + 1];
     for (offset_t p = dp + 1; p < col_end; ++p) {
@@ -136,9 +135,8 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
                 .threads_per_block = 256,
                 .warp_efficiency = warp_eff},
                [&](std::int64_t, gpusim::KernelContext& ctx) {
-                 const value_t diag = dense_at(jslot, j);
-                 E2ELU_CHECK_MSG(diag != value_t{0},
-                                 "zero pivot in column " << j);
+                 const value_t diag =
+                     detail::load_pivot(dense_at(jslot, j), j);
                  for (offset_t p = m.diag_pos[j] + 1;
                       p < m.csc.col_ptr[j + 1]; ++p) {
                    dense_at(jslot, m.csc.row_idx[p]) /= diag;
@@ -256,9 +254,8 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
                       .warp_efficiency = warp_eff},
                      [&](std::int64_t, gpusim::KernelContext& ctx) {
                        const index_t jslot = slot_of[j];
-                       const value_t diag = dense_at(jslot, j);
-                       E2ELU_CHECK_MSG(diag != value_t{0},
-                                       "zero pivot in column " << j);
+                       const value_t diag =
+                           detail::load_pivot(dense_at(jslot, j), j);
                        for (offset_t p = m.diag_pos[j] + 1;
                             p < m.csc.col_ptr[j + 1]; ++p) {
                          dense_at(jslot, m.csc.row_idx[p]) /= diag;

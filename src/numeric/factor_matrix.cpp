@@ -9,6 +9,17 @@
 
 namespace e2elu::numeric {
 
+std::string ZeroPivotError::describe(index_t column, double value) {
+  std::ostringstream os;
+  os << "unusable pivot in column " << column << ": ";
+  if (value == 0) {
+    os << "zero";
+  } else {
+    os << "non-finite (" << value << ")";
+  }
+  return os.str();
+}
+
 FactorMatrix FactorMatrix::build_skeleton(const Csr& filled) {
   FactorMatrix m;
   m.pattern = filled;

@@ -29,6 +29,25 @@
 
 namespace e2elu::numeric {
 
+/// Thrown by the numeric executors when a pivot reads zero or non-finite.
+/// Factorization without pivoting (the paper's setting, §2) cannot proceed
+/// past such a column; carrying the column lets the recovery policy in
+/// core::SparseLU perturb exactly the diagonal that failed and retry.
+class ZeroPivotError : public Error {
+ public:
+  ZeroPivotError(index_t column, double value)
+      : Error(describe(column, value)), column_(column), value_(value) {}
+
+  index_t column() const { return column_; }
+  double value() const { return value_; }
+
+ private:
+  static std::string describe(index_t column, double value);
+
+  index_t column_;
+  double value_;
+};
+
 /// The working matrix As: the filled pattern in both orientations plus the
 /// numeric values, stored in CSC order (the format Algorithm 6 searches).
 struct FactorMatrix {

@@ -130,9 +130,8 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
                  const index_t j =
                      s.level_cols[s.level_ptr[l] + static_cast<index_t>(b)];
                  const offset_t dp = m.diag_pos[j];
-                 const value_t diag = m.csc.values[dp];
-                 E2ELU_CHECK_MSG(diag != value_t{0},
-                                 "zero pivot in column " << j);
+                 const value_t diag =
+                     detail::load_pivot(m.csc.values[dp], j);
                  std::uint64_t ops = 0;
                  for (offset_t p = dp + 1; p < m.csc.col_ptr[j + 1]; ++p) {
                    m.csc.values[p] /= diag;

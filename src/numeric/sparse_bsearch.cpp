@@ -76,9 +76,8 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
                     .warp_efficiency = warp_eff},
                    [&](std::int64_t, gpusim::KernelContext& ctx) {
                      const offset_t dp = m.diag_pos[j];
-                     const value_t diag = m.csc.values[dp];
-                     E2ELU_CHECK_MSG(diag != value_t{0},
-                                     "zero pivot in column " << j);
+                     const value_t diag =
+                         detail::load_pivot(m.csc.values[dp], j);
                      for (offset_t p = dp + 1; p < m.csc.col_ptr[j + 1];
                           ++p) {
                        m.csc.values[p] /= diag;

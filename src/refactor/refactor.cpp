@@ -173,10 +173,13 @@ RefactorReport Refactorizer::refactorize(const Csr& a_new) {
                                               &plan_);
     rep.numeric.ops = nstats.ops;
   } catch (const Error&) {
-    // A zero pivot under the cached permutations; the values left in the
-    // skeleton are partial, so the fallback rebuilds everything.
+    // A zero pivot under the cached permutations — or a device fault
+    // (OOM, lost launch): either way the values left in the skeleton are
+    // partial, so the fallback rebuilds everything through the full
+    // pipeline, whose own recovery loops then handle the cause.
     if (!ropt_.auto_fallback) throw;
-    return fall_back(a_new, "numeric failure (zero pivot)", rep,
+    return fall_back(a_new, "numeric failure (zero pivot or device fault)",
+                     rep,
                      /*pattern_rebuild=*/false);
   }
   rep.numeric.sim_us = device_.stats().sim_total_us() - sim_before_num;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/factor_error.hpp"
 #include "support/check.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -13,6 +14,7 @@ SolverService::SolverService(gpusim::Device& device,
                              const FactorResult& factorization,
                              SolverServiceOptions options)
     : opt_(options),
+      n_(static_cast<std::size_t>(factorization.n)),
       factors_(factorization),
       solver_(device, factors_),
       batched_(solver_),
@@ -34,10 +36,10 @@ SolverService::~SolverService() {
 
 std::future<std::vector<value_t>> SolverService::submit(
     std::vector<value_t> b) {
-  E2ELU_CHECK_MSG(
-      b.size() == static_cast<std::size_t>(solver_.factorization().n),
-      "submit: rhs size " << b.size() << " does not match system order "
-                          << solver_.factorization().n);
+  E2ELU_CHECK_MSG(b.size() == n_,
+                  "submit: rhs size " << b.size()
+                                      << " does not match system order "
+                                      << n_);
   Request req;
   req.b = std::move(b);
   std::future<std::vector<value_t>> future = req.promise.get_future();
@@ -83,8 +85,7 @@ SolverServiceStats SolverService::stats() const {
 
 void SolverService::run_batch(std::vector<Request> batch) {
   const index_t num_rhs = static_cast<index_t>(batch.size());
-  const std::size_t n =
-      static_cast<std::size_t>(solver_.factorization().n);
+  const std::size_t n = n_;
   std::vector<value_t> block(n * batch.size());
   for (std::size_t r = 0; r < batch.size(); ++r) {
     std::copy(batch[r].b.begin(), batch[r].b.end(), block.begin() + r * n);
@@ -101,9 +102,30 @@ void SolverService::run_batch(std::vector<Request> batch) {
     }
   } catch (...) {
     // A singular diagonal (or any solver failure) fails the whole batch:
-    // every caller in it sees the exception through its future.
-    const std::exception_ptr error = std::current_exception();
+    // every caller in it sees the exception through its future. The
+    // service itself survives — later batches solve normally. Device
+    // faults are wrapped into FactorError so callers can match on the
+    // structured kind/phase instead of parsing gpusim messages.
+    std::exception_ptr error = std::current_exception();
+    try {
+      std::rethrow_exception(error);
+    } catch (const FactorError&) {
+      // Already structured; pass through unchanged.
+    } catch (const gpusim::OutOfDeviceMemory& e) {
+      error = std::make_exception_ptr(
+          FactorError(FaultKind::DeviceOutOfMemory, "solve", e.what()));
+    } catch (const gpusim::LaunchFailure& e) {
+      error = std::make_exception_ptr(
+          FactorError(FaultKind::LaunchFailed, "solve", e.what()));
+    } catch (...) {
+      // Anything else (singular diagonal, shape misuse) keeps its type.
+    }
     for (Request& req : batch) req.promise.set_exception(error);
+    trace::MetricsRegistry::global()
+        .counter("solver_service.batch_failures")
+        .add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batch_failures;
   }
 
   const std::uint64_t saved =

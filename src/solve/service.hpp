@@ -60,6 +60,9 @@ struct SolverServiceStats {
   /// batch runs one sweep instead of B, saving (B-1) x launches/sweep.
   std::uint64_t launches_saved = 0;
   std::uint64_t rebinds = 0;
+  /// Batches whose requests all failed (every future carries the error;
+  /// the service itself stays alive and keeps serving later batches).
+  std::uint64_t batch_failures = 0;
   std::size_t max_queue_depth = 0;
   double mean_batch() const {
     return batches == 0 ? 0.0 : static_cast<double>(requests) / batches;
@@ -111,6 +114,11 @@ class SolverService {
   void run_batch(std::vector<Request> batch);
 
   SolverServiceOptions opt_;
+  /// System order, fixed for the service's lifetime (rebind() rejects a
+  /// changed n). Cached so submit() and batch assembly can validate and
+  /// size buffers without reading through factors_, which rebind()
+  /// overwrites under solve_mutex_ only.
+  const std::size_t n_;
   /// Private snapshot the solvers are bound to; rebind() overwrites it
   /// under solve_mutex_. Declared before solver_ (initialization order).
   FactorResult factors_;

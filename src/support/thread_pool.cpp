@@ -28,11 +28,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_task(Task& task, std::size_t worker_id) {
   for (;;) {
+    if (task.failed.load(std::memory_order_relaxed)) break;
     const std::size_t begin =
         task.next.fetch_add(task.chunk, std::memory_order_relaxed);
     if (begin >= task.count) break;
     const std::size_t end = std::min(begin + task.chunk, task.count);
-    (*task.body)(begin, end, worker_id);
+    try {
+      (*task.body)(begin, end, worker_id);
+    } catch (...) {
+      // Capture the first failure and stop handing out chunks. Letting the
+      // exception escape here would std::terminate (worker threads) or
+      // skip the remaining_workers decrement and deadlock the barrier.
+      {
+        std::lock_guard<std::mutex> lock(task.error_mutex);
+        if (!task.error) task.error = std::current_exception();
+      }
+      task.failed.store(true, std::memory_order_release);
+    }
   }
 }
 
@@ -87,6 +99,10 @@ void ThreadPool::parallel_for_ranges(
     });
     current_ = nullptr;
   }
+  // Every worker has left the task, so rethrowing the captured failure on
+  // the submitting thread is safe — no one still references the stack
+  // Task, and the pool is back in its idle state.
+  if (task.error) std::rethrow_exception(task.error);
 }
 
 void ThreadPool::parallel_for(std::size_t count,

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -62,6 +63,13 @@ class ThreadPool {
     std::size_t chunk = 1;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> remaining_workers{0};
+    // First exception thrown by any chunk. A body that throws (zero pivot,
+    // injected fault) must surface on the submitting thread, not terminate
+    // the process from a worker; `failed` also short-circuits the
+    // remaining chunks so the task drains quickly.
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
   };
 
   void worker_loop(std::size_t worker_id);

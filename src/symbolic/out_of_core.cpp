@@ -16,6 +16,7 @@
 #include <cmath>
 #include <mutex>
 #include <numeric>
+#include <optional>
 
 #include "gpusim/device_buffer.hpp"
 #include "support/check.hpp"
@@ -23,6 +24,7 @@
 #include "symbolic/fill2.hpp"
 #include "symbolic/symbolic.hpp"
 #include "symbolic/workspace.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu::symbolic {
@@ -65,10 +67,27 @@ PassResult chunked_pass(
                   "device cannot hold even one row's symbolic scratch ("
                       << bytes_per_row << " bytes needed, " << free
                       << " free)");
-  const std::size_t chunk =
+  std::size_t chunk =
       std::min<std::size_t>(rows.size(), free / bytes_per_row);
-  gpusim::DeviceBuffer<index_t> ws_buf(dev, chunk * slots);
-  ws_buf.fill(-1);  // visit stamps: -1 never equals a row id
+  // The computed chunk fits free_bytes by construction, but the free-space
+  // probe races other consumers (and fault injection fails allocations
+  // outright), so the scratch allocation keeps halving the chunk until it
+  // lands. Smaller chunks only cost extra kernel iterations — the result
+  // is identical.
+  std::optional<gpusim::DeviceBuffer<index_t>> ws_buf;
+  for (;;) {
+    try {
+      ws_buf.emplace(dev, chunk * slots);
+      break;
+    } catch (const gpusim::OutOfDeviceMemory&) {
+      if (chunk <= 1) throw;
+      chunk /= 2;
+      trace::MetricsRegistry::global()
+          .counter("recovery.symbolic.chunk_retry")
+          .add(1);
+    }
+  }
+  ws_buf->fill(-1);  // visit stamps: -1 never equals a row id
 
   std::mutex overflow_mutex;
   pr.chunk_rows = static_cast<index_t>(chunk);
@@ -88,7 +107,7 @@ PassResult chunked_pass(
         [&](std::int64_t b, gpusim::KernelContext& ctx) {
           const index_t row = rows[begin + static_cast<std::size_t>(b)];
           std::span<index_t> slice{
-              ws_buf.data() + static_cast<std::size_t>(b) * slots, slots};
+              ws_buf->data() + static_cast<std::size_t>(b) * slots, slots};
           PlainWorkspace ws = PlainWorkspace::from_slice_bounded(slice, n, qcap);
           if (body(row, ws, ctx)) {
             E2ELU_CHECK_MSG(overflow != nullptr,

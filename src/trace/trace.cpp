@@ -58,8 +58,12 @@ struct Tracer::ThreadState {
 Tracer::Tracer() : epoch_ns_(steady_ns()) {}
 
 Tracer& Tracer::instance() {
-  static Tracer tracer;
-  return tracer;
+  // Immortal singleton: never destroyed, so pool workers can still record
+  // during static teardown, and rings_ keeps every exited thread's Ring
+  // reachable at exit (destroying the vector would orphan them, which
+  // LeakSanitizer reports as a leak).
+  static Tracer* tracer = new Tracer;
+  return *tracer;
 }
 
 double Tracer::now_us() const {
