@@ -8,6 +8,7 @@
 // for can be measured: identical kernels and counters, differing only in
 // launch type and the per-level device->host queue-size read-back.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -21,10 +22,11 @@ int main() {
   constexpr index_t kScale = 64;
   std::printf("=== Extension: GPU levelization, dynamic parallelism "
               "(Alg. 5) vs host-launched ===\n");
-  std::printf("%-5s %7s %7s %7s | %9s %7s | %9s %7s %7s | %8s\n", "abbr",
-              "n", "edges", "levels", "host-drv", "h-lnch", "dynamic",
-              "h-lnch", "d-lnch", "speedup");
-  bench::print_rule(100);
+  std::printf("%-5s %7s %7s %7s | %9s %7s %6s | %9s %7s %7s %6s | %8s "
+              "%8s\n",
+              "abbr", "n", "edges", "levels", "host-drv", "h-lnch", "l/lvl",
+              "dynamic", "h-lnch", "d-lnch", "l/lvl", "speedup", "occ spd");
+  bench::print_rule(118);
 
   for (const SuiteEntry& e : table2_suite(kScale)) {
     // The deep-schedule matrices are where per-level overheads bite.
@@ -48,19 +50,36 @@ int main() {
 
     const double t_host = d_host.stats().sim_total_us();
     const double t_dyn = d_dyn.stats().sim_total_us();
-    std::printf("%-5s %7d %7lld %7d | %7.0fus %7llu | %7.0fus %7llu %7llu | "
-                "%7.2fx\n",
+    // Launches per schedule level: the per-level overhead each variant
+    // actually pays. The occupancy-weighted speedup compares kernel time
+    // scaled by achieved occupancy — launch-overhead savings net of how
+    // empty the per-level grids run.
+    const double levels = std::max<index_t>(1, host.num_levels());
+    const double lpl_host =
+        static_cast<double>(d_host.stats().host_launches +
+                            d_host.stats().device_launches) /
+        levels;
+    const double lpl_dyn =
+        static_cast<double>(d_dyn.stats().host_launches +
+                            d_dyn.stats().device_launches) /
+        levels;
+    const double occ_host =
+        d_host.stats().sim_occupancy_us + d_host.stats().sim_launch_us;
+    const double occ_dyn =
+        d_dyn.stats().sim_occupancy_us + d_dyn.stats().sim_launch_us;
+    std::printf("%-5s %7d %7lld %7d | %7.0fus %7llu %6.1f | %7.0fus %7llu "
+                "%7llu %6.1f | %7.2fx %7.2fx\n",
                 e.abbr.c_str(), e.matrix.n,
                 static_cast<long long>(g.num_edges()), host.num_levels(),
                 t_host,
                 static_cast<unsigned long long>(d_host.stats().host_launches),
-                t_dyn,
+                lpl_host, t_dyn,
                 static_cast<unsigned long long>(d_dyn.stats().host_launches),
                 static_cast<unsigned long long>(d_dyn.stats().device_launches),
-                t_host / t_dyn);
+                lpl_dyn, t_host / t_dyn, occ_dyn == 0 ? 0.0 : occ_host / occ_dyn);
     std::fflush(stdout);
   }
-  bench::print_rule(100);
+  bench::print_rule(118);
   std::printf("expected shape: identical schedules; the dynamic version "
               "replaces per-level host launches + read-backs with cheap "
               "child launches, winning most on deep schedules\n");

@@ -108,7 +108,13 @@ void print(std::ostream& os, const gpusim::DeviceStats& s) {
   os << "device: " << s.sim_total_us() << " us simulated (kernel "
      << s.sim_kernel_us << ", launch " << s.sim_launch_us << ", transfer "
      << s.sim_transfer_us << ", fault " << s.sim_fault_us << "); launches "
-     << s.host_launches << " host + " << s.device_launches << " device; ops "
+     << s.host_launches << " host + " << s.device_launches << " device";
+  if (s.fused_launches > 0) {
+    os << " (" << s.fused_launches << " fused covering " << s.fused_levels
+       << " levels)";
+  }
+  os << "; elapsed " << s.sim_elapsed_us << " us, avg occupancy "
+     << 100.0 * s.avg_occupancy() << "%; ops "
      << s.kernel_ops << "; h2d " << (s.h2d_bytes >> 10) << " KiB, d2h "
      << (s.d2h_bytes >> 10) << " KiB, prefetch " << (s.prefetch_bytes >> 10)
      << " KiB; " << s.page_faults << " faults in " << s.page_fault_groups

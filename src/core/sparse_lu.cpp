@@ -91,8 +91,12 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   res.preprocess.sim_us = options_.host.time_us(res.preprocess.ops);
 
   // ---- Symbolic factorization (§3.2).
+  const auto launch_count = [&dev] {
+    return dev.stats().host_launches + dev.stats().device_launches;
+  };
   WallTimer t_sym;
   double sim_before = dev.stats().sim_total_us();
+  std::uint64_t launches_before = launch_count();
   symbolic::SymbolicResult sym;
   bool symbolic_on_device = options_.mode != Mode::CpuBaseline;
   {
@@ -158,12 +162,14 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   }
   res.symbolic.wall_ms = t_sym.millis();
   res.symbolic.ops = sym.ops;
+  res.symbolic.launches = launch_count() - launches_before;
   res.fill_nnz = sym.filled.nnz();
   res.symbolic_chunks = sym.num_chunks;
 
   // ---- Levelization (§3.3).
   WallTimer t_lvl;
   sim_before = dev.stats().sim_total_us();
+  launches_before = launch_count();
   scheduling::LevelSchedule schedule;
   {
     trace::Span span_lvl("levelize", dev);
@@ -221,11 +227,13 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
     span_lvl.attr("levels", schedule.num_levels());
   }
   res.levelize.wall_ms = t_lvl.millis();
+  res.levelize.launches = launch_count() - launches_before;
   res.num_levels = schedule.num_levels();
 
   // ---- Numeric factorization (§3.4).
   WallTimer t_num;
   sim_before = dev.stats().sim_total_us();
+  launches_before = launch_count();
   bool use_sparse;
   switch (options_.numeric_format) {
     case NumericFormat::DenseWindow:
@@ -267,6 +275,8 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
               : numeric::factorize_dense_window(dev, fm, schedule,
                                                 options_.numeric);
       res.numeric.ops = nstats.ops;
+      res.fused_levels = nstats.fused_levels;
+      span_num.attr("fused_levels", nstats.fused_levels);
       break;
     } catch (const numeric::ZeroPivotError& e) {
       if (attempt + 1 >= max_numeric) {
@@ -318,6 +328,7 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   }
   res.used_sparse_numeric = use_sparse;
   res.numeric.sim_us = dev.stats().sim_total_us() - sim_before;
+  res.numeric.launches = launch_count() - launches_before;
   res.numeric.wall_ms = t_num.millis();
 
   {

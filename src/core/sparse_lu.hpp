@@ -95,6 +95,7 @@ struct PhaseReport {
   double sim_us = 0;
   double wall_ms = 0;
   std::uint64_t ops = 0;
+  std::uint64_t launches = 0;  ///< host + device kernel launches this phase
 };
 
 struct FactorResult {
@@ -107,6 +108,7 @@ struct FactorResult {
   index_t num_levels = 0;
   index_t symbolic_chunks = 0;     ///< out-of-core iterations used
   bool used_sparse_numeric = false;
+  index_t fused_levels = 0;        ///< levels executed inside fused launches
 
   /// Recovery accounting (all zero on a clean run).
   index_t symbolic_replans = 0;      ///< multipart re-plans after device OOM

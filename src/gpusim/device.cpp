@@ -31,6 +31,9 @@ void Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
                   "block size " << cfg.threads_per_block
                                 << " exceeds device limit");
   E2ELU_CHECK(cfg.warp_efficiency > 0.0 && cfg.warp_efficiency <= 1.0);
+  E2ELU_CHECK_MSG(cfg.fused_levels >= 1, "fused_levels must be >= 1");
+  E2ELU_CHECK_MSG(cfg.stream == nullptr || &cfg.stream->device() == this,
+                  "launch on a stream of a different device");
 
   if (fault::armed() &&
       fault::Injector::instance().should_fail_launch(cfg.name)) {
@@ -38,45 +41,86 @@ void Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
   }
 
   // Launch overhead is charged even for empty grids (a real launch would
-  // still round-trip the driver).
+  // still round-trip the driver). A fused launch pays it exactly once —
+  // that amortization is the point of level fusion.
+  const double launch_us =
+      cfg.from_device ? spec_.device_launch_us : spec_.host_launch_us;
   if (cfg.from_device) {
     ++stats_.device_launches;
-    stats_.sim_launch_us += spec_.device_launch_us;
   } else {
     ++stats_.host_launches;
-    stats_.sim_launch_us += spec_.host_launch_us;
   }
-  if (cfg.blocks == 0) return;
+  stats_.sim_launch_us += launch_us;
+  if (cfg.fused_levels > 1) {
+    ++stats_.fused_launches;
+    stats_.fused_levels += static_cast<std::uint64_t>(cfg.fused_levels);
+  }
 
-  // Execute every block on the pool, one work counter per worker.
-  ThreadPool& pool = ThreadPool::global();
-  std::vector<KernelContext> contexts(pool.num_threads());
-  pool.parallel_for_ranges(
-      static_cast<std::size_t>(cfg.blocks),
-      [&](std::size_t begin, std::size_t end, std::size_t worker) {
-        KernelContext& ctx = contexts[worker];
-        for (std::size_t b = begin; b < end; ++b) {
-          body(static_cast<std::int64_t>(b), ctx);
-        }
-      });
+  double kernel_us = 0;
+  if (cfg.blocks > 0) {
+    // Execute every block on the pool, one work counter per worker.
+    ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::global();
+    std::vector<KernelContext> contexts(pool.num_threads());
+    pool.parallel_for_ranges(
+        static_cast<std::size_t>(cfg.blocks),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          KernelContext& ctx = contexts[worker];
+          for (std::size_t b = begin; b < end; ++b) {
+            body(static_cast<std::int64_t>(b), ctx);
+          }
+        });
 
-  std::uint64_t ops = 0;
-  for (const KernelContext& ctx : contexts) ops += ctx.ops();
-  stats_.kernel_ops += ops;
+    std::uint64_t ops = 0;
+    for (const KernelContext& ctx : contexts) ops += ctx.ops();
+    stats_.kernel_ops += ops;
 
-  const double throughput =
-      spec_.gpu_ops_per_us * occupancy(cfg.blocks) * cfg.warp_efficiency;
-  stats_.sim_kernel_us += static_cast<double>(ops) / throughput;
+    const double throughput =
+        spec_.gpu_ops_per_us * occupancy(cfg.blocks) * cfg.warp_efficiency;
+    kernel_us = static_cast<double>(ops) / throughput;
+    stats_.sim_kernel_us += kernel_us;
+    stats_.sim_occupancy_us += kernel_us * occupancy(cfg.blocks);
+  }
+
+  if (cfg.stream != nullptr) {
+    // Async launch: the host issue cost serializes on the host thread (a
+    // single thread calls into the driver), but the kernel itself only
+    // waits for its stream — that is where overlap comes from.
+    host_issue_us_ = std::max(host_issue_us_, serial_done_us_) + launch_us;
+    const double start = std::max(cfg.stream->ready_us_, host_issue_us_);
+    cfg.stream->ready_us_ = start + kernel_us;
+    stats_.sim_elapsed_us = std::max(
+        {stats_.sim_elapsed_us, host_issue_us_, cfg.stream->ready_us_});
+  } else {
+    advance_serial(launch_us + kernel_us);
+  }
+}
+
+void Device::advance_serial(double cost_us) {
+  double t0 = std::max(serial_done_us_, host_issue_us_);
+  for (const Stream* s : streams_) t0 = std::max(t0, s->ready_us_);
+  const double t1 = t0 + cost_us;
+  serial_done_us_ = host_issue_us_ = t1;
+  for (Stream* s : streams_) s->ready_us_ = t1;
+  stats_.sim_elapsed_us = std::max(stats_.sim_elapsed_us, t1);
+}
+
+double Device::synchronize() {
+  advance_serial(0.0);
+  return stats_.sim_elapsed_us;
 }
 
 void Device::copy_h2d(std::size_t bytes) {
   stats_.h2d_bytes += bytes;
-  stats_.sim_transfer_us += static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+  const double us = static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+  stats_.sim_transfer_us += us;
+  advance_serial(us);
 }
 
 void Device::copy_d2h(std::size_t bytes) {
   stats_.d2h_bytes += bytes;
-  stats_.sim_transfer_us += static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+  const double us = static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+  stats_.sim_transfer_us += us;
+  advance_serial(us);
 }
 
 void Device::record_page_fault(bool starts_new_group) {
@@ -88,6 +132,7 @@ void Device::record_page_fault(bool starts_new_group) {
       cost *= fault::Injector::instance().um_fault_cost();
     }
     stats_.sim_fault_us += cost;
+    advance_serial(cost);
   }
 }
 
@@ -97,6 +142,7 @@ void Device::record_prefetch(std::size_t bytes) {
   // allocation + mapping operation, not a PCIe copy — the cost is the
   // async enqueue.
   stats_.sim_transfer_us += spec_.prefetch_call_us;
+  advance_serial(spec_.prefetch_call_us);
 }
 
 void Device::allocate(std::size_t bytes) {

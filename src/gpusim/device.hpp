@@ -2,15 +2,23 @@
 // simulated-time bookkeeping.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "gpusim/spec.hpp"
 #include "support/check.hpp"
 
+namespace e2elu {
+class ThreadPool;
+}
+
 namespace e2elu::gpusim {
+
+class Stream;
 
 /// Thrown when a DeviceBuffer allocation would exceed DeviceSpec
 /// memory_bytes. The out-of-core drivers size their chunks so this never
@@ -40,14 +48,31 @@ struct DeviceStats {
   std::uint64_t page_faults = 0;        ///< individual page misses
   std::uint64_t page_fault_groups = 0;  ///< coalesced miss runs (nvprof-style)
   std::uint64_t prefetch_bytes = 0;
+  std::uint64_t fused_launches = 0;  ///< launches covering >1 fused level
+  std::uint64_t fused_levels = 0;    ///< logical levels folded into those
 
   double sim_kernel_us = 0;    ///< kernel work time
   double sim_launch_us = 0;    ///< launch overheads
   double sim_transfer_us = 0;  ///< explicit copies + prefetches
   double sim_fault_us = 0;     ///< page-fault service time
 
+  /// Kernel time weighted by achieved occupancy: a 1-block kernel on a
+  /// 160-block device contributes 1/160 of its sim_kernel_us. The gap
+  /// between sim_kernel_us and this is the narrow-tail waste level fusion
+  /// attacks.
+  double sim_occupancy_us = 0;
+  /// Overlap-aware wall clock: completion time of all work queued so far
+  /// across the default timeline and every Stream. Equals sim_total_us()
+  /// when no streams are used (everything serializes); strictly smaller
+  /// when async launches overlap.
+  double sim_elapsed_us = 0;
+
   double sim_total_us() const {
     return sim_kernel_us + sim_launch_us + sim_transfer_us + sim_fault_us;
+  }
+  /// Mean achieved occupancy over all kernel time, in [0,1].
+  double avg_occupancy() const {
+    return sim_kernel_us == 0 ? 0.0 : sim_occupancy_us / sim_kernel_us;
   }
   /// Percentage of simulated time spent servicing page faults (Table 3).
   double fault_time_pct() const {
@@ -74,10 +99,14 @@ struct DeviceStats {
     d.page_faults = page_faults - before.page_faults;
     d.page_fault_groups = page_fault_groups - before.page_fault_groups;
     d.prefetch_bytes = prefetch_bytes - before.prefetch_bytes;
+    d.fused_launches = fused_launches - before.fused_launches;
+    d.fused_levels = fused_levels - before.fused_levels;
     d.sim_kernel_us = sim_kernel_us - before.sim_kernel_us;
     d.sim_launch_us = sim_launch_us - before.sim_launch_us;
     d.sim_transfer_us = sim_transfer_us - before.sim_transfer_us;
     d.sim_fault_us = sim_fault_us - before.sim_fault_us;
+    d.sim_occupancy_us = sim_occupancy_us - before.sim_occupancy_us;
+    d.sim_elapsed_us = sim_elapsed_us - before.sim_elapsed_us;
     return d;
   }
 };
@@ -93,6 +122,14 @@ struct LaunchConfig {
   double warp_efficiency = 1.0;
   /// True for dynamic-parallelism child launches (cheaper, Algorithm 5).
   bool from_device = false;
+  /// Number of logical per-level launches folded into this one (level
+  /// fusion). Launch overhead is charged once regardless of the value;
+  /// values > 1 record the amortization in DeviceStats.
+  int fused_levels = 1;
+  /// Non-null: asynchronous launch ordered after prior work on that
+  /// stream only (kernel time overlaps other streams; the host-side issue
+  /// cost still serializes). Null: default-stream launch, a full barrier.
+  Stream* stream = nullptr;
 };
 
 /// Per-launch execution context handed to the kernel body. The body runs
@@ -164,15 +201,95 @@ class Device {
     return static_cast<double>(resident) / spec_.max_concurrent_blocks;
   }
 
+  /// Overlap-aware device wall clock: completion time of everything
+  /// queued so far. See DeviceStats::sim_elapsed_us.
+  double elapsed_us() const { return stats_.sim_elapsed_us; }
+
+  /// cudaDeviceSynchronize: joins every stream (and the host issue
+  /// cursor) into the default timeline and returns the elapsed wall
+  /// clock. Simulated execution is eager, so this only merges timelines —
+  /// it is never needed for correctness.
+  double synchronize();
+
+  /// Routes kernel bodies through `pool` instead of ThreadPool::global().
+  /// A single-worker pool makes floating-point reduction order (and thus
+  /// factor bits) deterministic; simulated time is ops-derived and does
+  /// not depend on the pool size.
+  void use_pool(ThreadPool& pool) { pool_ = &pool; }
+
  private:
   friend class RawDeviceAllocation;
+  friend class Stream;
   void allocate(std::size_t bytes);
   void deallocate(std::size_t bytes) noexcept;
+
+  /// Charges a synchronous (default-timeline) operation: starts after all
+  /// queued work, blocks everything behind it — the legacy-default-stream
+  /// full-barrier semantics.
+  void advance_serial(double cost_us);
 
   DeviceSpec spec_;
   DeviceStats stats_;
   std::atomic<std::size_t> allocated_{0};
+
+  // --- simulated timelines (see DESIGN.md "Streams & overlap") ---
+  double serial_done_us_ = 0;  ///< completion of default-timeline work
+  double host_issue_us_ = 0;   ///< host thread's position issuing launches
+  std::vector<Stream*> streams_;
+  ThreadPool* pool_ = nullptr;  ///< null = ThreadPool::global()
 };
+
+/// A simulated CUDA stream: an independent completion timeline. Work
+/// launched with LaunchConfig::stream pointing here is ordered after
+/// prior work on this stream only; its kernel time overlaps other
+/// streams' in the sim clock. Execution itself stays eager and
+/// correct-by-construction — streams model *time*, not deferral.
+class Stream {
+ public:
+  explicit Stream(Device& device) : device_(&device) {
+    // Work queued before the stream existed is on the default timeline;
+    // the stream starts ordered after it (legacy default-stream sync).
+    ready_us_ = device_->serial_done_us_;
+    device_->streams_.push_back(this);
+  }
+  ~Stream() {
+    auto& v = device_->streams_;
+    v.erase(std::find(v.begin(), v.end(), this));
+    // Destroying a stream joins its pending work into the default
+    // timeline so the time it accumulated is not lost.
+    device_->serial_done_us_ = std::max(device_->serial_done_us_, ready_us_);
+  }
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Device& device() const { return *device_; }
+  /// Absolute device-clock time at which work queued so far completes.
+  double ready_us() const { return ready_us_; }
+  /// Orders subsequent work on this stream after the event
+  /// (cudaStreamWaitEvent).
+  void wait(const class Event& e);
+
+ private:
+  friend class Device;
+  Device* device_;
+  double ready_us_ = 0;
+};
+
+/// A simulated CUDA event: a captured timestamp on a stream's timeline.
+class Event {
+ public:
+  /// Captures the completion time of work queued on `s` so far
+  /// (cudaEventRecord).
+  void record(const Stream& s) { t_us_ = s.ready_us(); }
+  double timestamp_us() const { return t_us_; }
+
+ private:
+  double t_us_ = 0;
+};
+
+inline void Stream::wait(const Event& e) {
+  ready_us_ = std::max(ready_us_, e.timestamp_us());
+}
 
 /// RAII registration of `bytes` against a Device's capacity. Building
 /// block for DeviceBuffer; throws OutOfDeviceMemory if over capacity.

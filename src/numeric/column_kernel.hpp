@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <thread>
 
 #include "fault/fault.hpp"
 #include "numeric/numeric.hpp"
@@ -102,6 +104,78 @@ inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
     }
   }
   return ops;
+}
+
+// ---------------------------------------------------------------------------
+// Fused (sync-free) cluster execution.
+//
+// A fused launch covers several consecutive levels; its blocks replace the
+// inter-level kernel boundary with per-column ready flags: a block first
+// waits for the flags of its column's in-cluster predecessors, processes
+// the column, then publishes its own flag. Deadlock-freedom: predecessors
+// live on strictly earlier levels, i.e. at strictly lower block indices of
+// the same grid, and the ThreadPool claims block ranges in ascending
+// order — so the lowest unfinished block never waits on unfinished work.
+// The `failed` flag is the abort protocol: a block that throws (zero
+// pivot, injected fault) sets it — plus its own ready flag — before
+// rethrowing, so spinning blocks drain instead of hanging while the pool
+// propagates the exception.
+// ---------------------------------------------------------------------------
+
+/// One flag per column, 0 = pending, 1 = retired. Value-initialized to 0.
+using ReadyFlags = std::unique_ptr<std::atomic<std::uint8_t>[]>;
+
+inline ReadyFlags make_ready_flags(index_t n) {
+  return std::make_unique<std::atomic<std::uint8_t>[]>(
+      static_cast<std::size_t>(n));
+}
+
+/// Spin-waits until every in-cluster predecessor of column j has retired.
+/// Predecessors are the columns whose completion j's work reads: the
+/// strictly-upper rows of CSC column j (U side — they wrote As(:,j)) and
+/// the strictly-lower entries of pattern row j (L side — they wrote the
+/// As(j,k) multipliers), restricted to levels inside
+/// [cluster_first_level, level(j)). Charges one op per dependency edge
+/// checked — *not* per spin iteration, which would make simulated time
+/// depend on host thread scheduling.
+inline std::uint64_t wait_cluster_predecessors(
+    const FactorMatrix& m, const scheduling::LevelSchedule& s,
+    index_t cluster_first_level, index_t j,
+    const std::atomic<std::uint8_t>* ready, const std::atomic<bool>& failed) {
+  std::uint64_t ops = 0;
+  const index_t lj = s.level[j];
+  auto wait_on = [&](index_t i) {
+    ++ops;
+    const index_t li = s.level[i];
+    if (li < cluster_first_level || li >= lj) return;
+    while (ready[i].load(std::memory_order_acquire) == 0) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      std::this_thread::yield();
+    }
+  };
+  for (offset_t p = m.csc.col_ptr[j]; p < m.diag_pos[j]; ++p) {
+    wait_on(m.csc.row_idx[p]);
+  }
+  const auto cols = m.pattern.row_cols(j);
+  for (auto it = cols.begin(); it != cols.end() && *it < j; ++it) {
+    wait_on(*it);
+  }
+  return ops;
+}
+
+/// Width-weighted mean warp efficiency over a cluster's levels — the
+/// efficiency the single fused launch is charged with.
+inline double cluster_warp_eff(const LevelPlan& plan,
+                               const scheduling::LevelSchedule& s, index_t lo,
+                               index_t hi) {
+  double sum = 0;
+  index_t cols = 0;
+  for (index_t l = lo; l < hi; ++l) {
+    const index_t w = s.level_width(l);
+    sum += plan.warp_eff[l] * w;
+    cols += w;
+  }
+  return cols == 0 ? 1.0 : sum / cols;
 }
 
 /// Mean strictly-lower column length over one level — drives the

@@ -9,6 +9,8 @@
 // Table 4 reports and Figure 8 shows the sparse format removing.
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu::numeric {
@@ -39,11 +42,16 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
   NumericStats stats;
   const std::uint64_t ops_before = dev.stats().kernel_ops;
   const index_t n = m.n();
-  if (plan != nullptr) {
-    E2ELU_CHECK_MSG(plan->type.size() ==
-                        static_cast<std::size_t>(s.num_levels()),
-                    "level plan does not match the schedule");
+  // A caller with no cached plan gets a local one: classification (and
+  // clustering) happen once per factorize instead of once per level.
+  std::optional<LevelPlan> local_plan;
+  if (plan == nullptr) {
+    local_plan.emplace(build_level_plan(m, s, dev.spec(), opt.fusion));
+    plan = &*local_plan;
   }
+  E2ELU_CHECK_MSG(plan->type.size() ==
+                      static_cast<std::size_t>(s.num_levels()),
+                  "level plan does not match the schedule");
 
   std::optional<DeviceFactorMatrix> mirrors;
   if (!opt.device_resident) mirrors.emplace(dev, m);
@@ -128,12 +136,14 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
   /// GLU3.0 type-C mode for one column: a one-block division kernel, then
   /// an update kernel with a block per sub-column — the batch is too
   /// narrow for block-per-column to occupy the device.
-  auto factor_column_subparallel = [&](index_t j, double warp_eff) {
+  auto factor_column_subparallel = [&](index_t j, double warp_eff,
+                                       gpusim::Stream* stream) {
     const index_t jslot = slot_of[j];
     dev.launch({.name = "dense_div_C",
                 .blocks = 1,
                 .threads_per_block = 256,
-                .warp_efficiency = warp_eff},
+                .warp_efficiency = warp_eff,
+                .stream = stream},
                [&](std::int64_t, gpusim::KernelContext& ctx) {
                  const value_t diag =
                      detail::load_pivot(dense_at(jslot, j), j);
@@ -152,7 +162,8 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
     dev.launch({.name = "dense_update_C",
                 .blocks = static_cast<std::int64_t>(subs.size()),
                 .threads_per_block = 256,
-                .warp_efficiency = warp_eff},
+                .warp_efficiency = warp_eff,
+                .stream = stream},
                [&](std::int64_t b, gpusim::KernelContext& ctx) {
                  std::uint64_t ops = 0;
                  const index_t k2 = subs[static_cast<std::size_t>(b)];
@@ -178,6 +189,13 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
   // batches — the batches of one level pipeline through the same grid.
   scheduling::LevelType level_type = scheduling::LevelType::A;
 
+  // Streams the per-column type-C launches rotate over. The serial
+  // scatter/gather kernels are full barriers, so batches stay ordered.
+  std::vector<std::unique_ptr<gpusim::Stream>> streams;
+  for (int i = 1; i < opt.async_streams; ++i) {
+    streams.push_back(std::make_unique<gpusim::Stream>(dev));
+  }
+
   auto run_batch = [&](Batch& b, double warp_eff) {
     if (b.factor_cols.empty()) return;
     scatter(b, warp_eff);
@@ -192,7 +210,11 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
                        b.factor_cols[static_cast<std::size_t>(i)], ctx);
                  });
     } else {
-      for (index_t j : b.factor_cols) factor_column_subparallel(j, warp_eff);
+      for (std::size_t i = 0; i < b.factor_cols.size(); ++i) {
+        factor_column_subparallel(
+            b.factor_cols[i], warp_eff,
+            streams.empty() ? nullptr : streams[i % streams.size()].get());
+      }
     }
     gather(b, warp_eff);
     for (index_t c : b.slot_cols) slot_of[c] = -1;
@@ -207,17 +229,9 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
     b.slot_cols.push_back(col);
   };
 
-  for (index_t l = 0; l < s.num_levels(); ++l) {
-    double warp_eff;
-    if (plan != nullptr) {
-      warp_eff = plan->warp_eff[l];
-      level_type = plan->type[l];
-    } else {
-      const double avg_l = detail::mean_l_length(m, s, l);
-      warp_eff = dev.spec().simt_efficiency(std::max(avg_l, 1.0));
-      level_type = scheduling::classify_level(
-          s.level_width(l), detail::mean_sub_columns(m, s, l));
-    }
+  auto run_level = [&](index_t l) {
+    const double warp_eff = plan->warp_eff[l];
+    level_type = plan->type[l];
     TRACE_SPAN("numeric.level", dev,
                {{"level", l},
                 {"width", s.level_width(l)},
@@ -339,6 +353,85 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
       batch.factor_cols.push_back(j);
     }
     run_batch(batch, warp_eff);
+  };
+
+  detail::ReadyFlags flags;  // fused clusters only; allocated on demand
+  const scheduling::ClusterSchedule& cs = plan->clusters;
+  for (index_t cl = 0; cl < cs.num_clusters(); ++cl) {
+    const index_t lo = cs.first_level(cl);
+    const index_t hi = cs.end_level(cl);
+
+    if (cs.is_fused(cl)) {
+      // A fused cluster needs its whole footprint — every factor column
+      // plus every sub-column they update — resident at once: there is no
+      // level boundary left to gather/re-scatter at. If the window cannot
+      // hold it, this cluster falls back to the per-level path.
+      Batch batch;
+      bool fits = true;
+      for (index_t p = s.level_ptr[lo]; p < s.level_ptr[hi] && fits; ++p) {
+        const index_t j = s.level_cols[p];
+        claim_slot(batch, j);
+        for (offset_t rp = m.pattern.row_ptr[j];
+             rp < m.pattern.row_ptr[j + 1]; ++rp) {
+          if (m.pattern.col_idx[rp] > j) {
+            claim_slot(batch, m.pattern.col_idx[rp]);
+          }
+        }
+        fits = static_cast<index_t>(batch.slot_cols.size()) <= window;
+      }
+      if (!fits) {
+        for (index_t c2 : batch.slot_cols) slot_of[c2] = -1;
+        for (index_t l = lo; l < hi; ++l) run_level(l);
+        continue;
+      }
+
+      const index_t first_pos = s.level_ptr[lo];
+      const index_t width = s.level_ptr[hi] - first_pos;
+      const double warp_eff = detail::cluster_warp_eff(*plan, s, lo, hi);
+      if (!flags) flags = detail::make_ready_flags(n);
+      std::atomic<bool> failed{false};
+      TRACE_SPAN("numeric.cluster", dev,
+                 {{"first_level", lo},
+                  {"levels", hi - lo},
+                  {"columns", width},
+                  {"format", "dense"}});
+      scatter(batch, warp_eff);
+      dev.launch(
+          {.name = "dense_fused",
+           .blocks = width,
+           .threads_per_block = 256,
+           .warp_efficiency = warp_eff,
+           .fused_levels = static_cast<int>(hi - lo)},
+          [&](std::int64_t b, gpusim::KernelContext& ctx) {
+            const index_t j = s.level_cols[first_pos + static_cast<index_t>(b)];
+            std::uint64_t ops = detail::wait_cluster_predecessors(
+                m, s, lo, j, flags.get(), failed);
+            ctx.add_ops(ops);
+            if (failed.load(std::memory_order_relaxed)) {
+              flags[j].store(1, std::memory_order_release);
+              return;
+            }
+            try {
+              process_column_dense(j, ctx);
+            } catch (...) {
+              failed.store(true, std::memory_order_relaxed);
+              flags[j].store(1, std::memory_order_release);
+              throw;
+            }
+            flags[j].store(1, std::memory_order_release);
+          });
+      gather(batch, warp_eff);
+      for (index_t c2 : batch.slot_cols) slot_of[c2] = -1;
+      ++stats.num_batches;
+      stats.fused_levels += hi - lo;
+      ++stats.fused_clusters;
+      trace::MetricsRegistry::global()
+          .counter("numeric.fused_levels")
+          .add(static_cast<std::uint64_t>(hi - lo));
+      continue;
+    }
+
+    run_level(lo);
   }
 
   stats.ops = dev.stats().kernel_ops - ops_before;

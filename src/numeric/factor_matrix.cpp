@@ -68,7 +68,8 @@ FactorMatrix FactorMatrix::build(const Csr& filled, const Csr& a) {
 
 LevelPlan build_level_plan(const FactorMatrix& m,
                            const scheduling::LevelSchedule& s,
-                           const gpusim::DeviceSpec& spec) {
+                           const gpusim::DeviceSpec& spec,
+                           const scheduling::FusionOptions& fusion) {
   LevelPlan plan;
   plan.type = scheduling::classify_schedule(s, m.pattern);
   plan.warp_eff.resize(static_cast<std::size_t>(s.num_levels()));
@@ -76,6 +77,7 @@ LevelPlan build_level_plan(const FactorMatrix& m,
     plan.warp_eff[l] =
         spec.simt_efficiency(std::max(detail::mean_l_length(m, s, l), 1.0));
   }
+  plan.clusters = scheduling::build_cluster_schedule(s, spec, fusion);
   return plan;
 }
 

@@ -25,6 +25,7 @@
 #include "matrix/convert.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
+#include "scheduling/fusion.hpp"
 #include "scheduling/levelize.hpp"
 
 namespace e2elu::numeric {
@@ -75,16 +76,23 @@ struct FactorMatrix {
 void scatter_values(FactorMatrix& m, const Csr& a);
 
 /// Per-level execution parameters that depend only on the pattern and the
-/// schedule: GLU3.0 A/B/C type and the modeled warp efficiency. Computed
-/// once per symbolic factorization and reused across re-factorizations.
+/// schedule: GLU3.0 A/B/C type, the modeled warp efficiency, and the
+/// level-fusion clustering. Computed once per symbolic factorization and
+/// reused across re-factorizations. The executors accept a cached plan or
+/// build a local one — either way the per-level classification happens
+/// once per pattern, not once per level per factorize.
 struct LevelPlan {
   std::vector<scheduling::LevelType> type;  ///< one per level
   std::vector<double> warp_eff;             ///< one per level
+  /// Level-fusion clustering (singletons when fusion is off). The plan is
+  /// authoritative: executors fuse exactly these clusters.
+  scheduling::ClusterSchedule clusters;
 };
 
 LevelPlan build_level_plan(const FactorMatrix& m,
                            const scheduling::LevelSchedule& s,
-                           const gpusim::DeviceSpec& spec);
+                           const gpusim::DeviceSpec& spec,
+                           const scheduling::FusionOptions& fusion = {});
 
 /// Replay plan for re-factorization (the cuSOLVER-rf / NICSLU task list):
 /// the exact CSC destination of every sub-column update, resolved once per
@@ -102,6 +110,12 @@ struct ReplayPlan {
   /// Sub-column ranges per level: level l owns sub-columns
   /// [level_ptr[l], level_ptr[l+1]).
   std::vector<offset_t> level_ptr;
+  /// Sub-column ranges per *schedule position* (size n+1): the column at
+  /// position p of s.level_cols owns sub-columns
+  /// [col_sub_ptr[p], col_sub_ptr[p+1]). Well-defined because the plan is
+  /// emitted level by level, column by column — what lets a fused replay
+  /// block find its own update tasks without a per-level launch boundary.
+  std::vector<offset_t> col_sub_ptr;
   std::vector<std::uint32_t> ujk_pos;    ///< per sub-column: position of U(j,k)
   std::vector<std::uint32_t> src_start;  ///< per sub-column: first L(:,j) slot
   std::vector<std::uint32_t> task_start;  ///< per sub-column + sentinel
@@ -151,6 +165,16 @@ struct NumericOptions {
   /// refactor::Refactorizer holds a DeviceFactorMatrix across calls), so
   /// the executor must not allocate/upload its own mirrors.
   bool device_resident = false;
+  /// Level fusion (see scheduling/fusion.hpp). Consulted only when the
+  /// caller passes no LevelPlan — a cached plan's clustering is
+  /// authoritative. Off by default: the per-level path is the
+  /// bit-exactness reference.
+  scheduling::FusionOptions fusion;
+  /// Number of simulated streams the per-column type-C launches rotate
+  /// over (1 = today's synchronous behaviour). Streams overlap the
+  /// div/update kernel time of independent columns in the sim clock;
+  /// results are bit-identical because execution stays eager.
+  int async_streams = 1;
 };
 
 struct NumericStats {
@@ -158,6 +182,8 @@ struct NumericStats {
   double wall_ms = 0;
   index_t window_columns = 0;  ///< dense mode: M, the resident-column cap
   index_t num_batches = 0;     ///< dense mode: scatter/factor/gather rounds
+  index_t fused_levels = 0;    ///< levels executed inside fused launches
+  index_t fused_clusters = 0;  ///< fused launches actually taken
 };
 
 /// Sequential host execution of Algorithm 2 over the level schedule —

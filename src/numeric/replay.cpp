@@ -12,12 +12,14 @@
 // level.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
 #include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu::numeric {
@@ -42,6 +44,8 @@ ReplayPlan build_replay_plan(const FactorMatrix& m,
   if (total_tasks >= kMax || m.csc.row_idx.size() >= kMax) return plan;
 
   plan.level_ptr.reserve(static_cast<std::size_t>(s.num_levels()) + 1);
+  plan.col_sub_ptr.reserve(static_cast<std::size_t>(m.n()) + 1);
+  plan.col_sub_ptr.push_back(0);
   plan.tasks.reserve(static_cast<std::size_t>(total_tasks));
   for (index_t l = 0; l < s.num_levels(); ++l) {
     plan.level_ptr.push_back(static_cast<offset_t>(plan.ujk_pos.size()));
@@ -75,6 +79,7 @@ ReplayPlan build_replay_plan(const FactorMatrix& m,
           ++q;
         }
       }
+      plan.col_sub_ptr.push_back(static_cast<offset_t>(plan.ujk_pos.size()));
     }
   }
   plan.level_ptr.push_back(static_cast<offset_t>(plan.ujk_pos.size()));
@@ -114,7 +119,100 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
                   "replay plan does not match the schedule");
   const bool unified = storage.tasks_unified.has_value();
 
-  for (index_t l = 0; l < s.num_levels(); ++l) {
+  // The per-sub-column update: destinations read straight from the task
+  // list. Shared verbatim between the per-level update grid and the fused
+  // per-column blocks, so both execute identical arithmetic in identical
+  // order.
+  auto apply_sub_column = [&](std::size_t sc, std::uint64_t& ops) {
+    const value_t ujk = m.csc.values[replay.ujk_pos[sc]];
+    ++ops;
+    if (ujk == value_t{0}) return;
+    gpusim::UnifiedBuffer<std::uint32_t>::Stream stream;
+    const std::uint32_t t0 = replay.task_start[sc];
+    const std::uint32_t t1 = replay.task_start[sc + 1];
+    const std::uint32_t src = replay.src_start[sc];
+    for (std::uint32_t t = t0; t < t1; ++t) {
+      const std::uint32_t dst = unified
+                                    ? storage.tasks_unified->gpu_at(stream, t)
+                                    : (*storage.tasks_device)[t];
+      detail::atomic_sub(m.csc.values[dst],
+                         m.csc.values[src + (t - t0)] * ujk);
+      ++ops;
+    }
+  };
+
+  detail::ReadyFlags flags;  // fused clusters only; allocated on demand
+  const scheduling::ClusterSchedule& cs = plan.clusters;
+  for (index_t cl = 0; cl < cs.num_clusters(); ++cl) {
+    const index_t lo = cs.first_level(cl);
+    const index_t hi = cs.end_level(cl);
+
+    if (cs.is_fused(cl)) {
+      E2ELU_CHECK_MSG(replay.col_sub_ptr.size() ==
+                          static_cast<std::size_t>(m.n()) + 1,
+                      "replay plan lacks per-column sub-column ranges "
+                      "needed for fused execution");
+      const index_t first_pos = s.level_ptr[lo];
+      const index_t width = s.level_ptr[hi] - first_pos;
+      if (!flags) flags = detail::make_ready_flags(m.n());
+      std::atomic<bool> failed{false};
+      TRACE_SPAN("numeric.cluster", dev,
+                 {{"first_level", lo},
+                  {"levels", hi - lo},
+                  {"columns", width},
+                  {"format", "replay"}});
+      if (unified) {
+        // One prefetch for the whole cluster's task slice — coarser than
+        // the per-level prefetch below, which is the point: fewer calls.
+        const std::uint32_t t0 = replay.task_start[replay.level_ptr[lo]];
+        const std::uint32_t t1 = replay.task_start[replay.level_ptr[hi]];
+        if (t1 > t0) storage.tasks_unified->prefetch(t0, t1 - t0);
+      }
+      dev.launch(
+          {.name = "replay_fused",
+           .blocks = width,
+           .threads_per_block = 256,
+           .warp_efficiency = detail::cluster_warp_eff(plan, s, lo, hi),
+           .fused_levels = static_cast<int>(hi - lo)},
+          [&](std::int64_t b, gpusim::KernelContext& ctx) {
+            const index_t p = first_pos + static_cast<index_t>(b);
+            const index_t j = s.level_cols[p];
+            std::uint64_t ops = detail::wait_cluster_predecessors(
+                m, s, lo, j, flags.get(), failed);
+            if (failed.load(std::memory_order_relaxed)) {
+              flags[j].store(1, std::memory_order_release);
+              ctx.add_ops(ops);
+              return;
+            }
+            try {
+              const offset_t dp = m.diag_pos[j];
+              const value_t diag = detail::load_pivot(m.csc.values[dp], j);
+              for (offset_t q = dp + 1; q < m.csc.col_ptr[j + 1]; ++q) {
+                m.csc.values[q] /= diag;
+                ++ops;
+              }
+              for (offset_t sc = replay.col_sub_ptr[p];
+                   sc < replay.col_sub_ptr[p + 1]; ++sc) {
+                apply_sub_column(static_cast<std::size_t>(sc), ops);
+              }
+            } catch (...) {
+              failed.store(true, std::memory_order_relaxed);
+              flags[j].store(1, std::memory_order_release);
+              ctx.add_ops(ops);
+              throw;
+            }
+            flags[j].store(1, std::memory_order_release);
+            ctx.add_ops(ops);
+          });
+      stats.fused_levels += hi - lo;
+      ++stats.fused_clusters;
+      trace::MetricsRegistry::global()
+          .counter("numeric.fused_levels")
+          .add(static_cast<std::uint64_t>(hi - lo));
+      continue;
+    }
+
+    const index_t l = lo;
     const double warp_eff = plan.warp_eff[l];
     TRACE_SPAN("numeric.level", dev,
                {{"level", l},
@@ -156,23 +254,8 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
          .threads_per_block = 256,
          .warp_efficiency = warp_eff},
         [&](std::int64_t b, gpusim::KernelContext& ctx) {
-          const auto sc = static_cast<std::size_t>(sub_begin + b);
-          const value_t ujk = m.csc.values[replay.ujk_pos[sc]];
-          std::uint64_t ops = 1;
-          if (ujk != value_t{0}) {
-            gpusim::UnifiedBuffer<std::uint32_t>::Stream stream;
-            const std::uint32_t t0 = replay.task_start[sc];
-            const std::uint32_t t1 = replay.task_start[sc + 1];
-            const std::uint32_t src = replay.src_start[sc];
-            for (std::uint32_t t = t0; t < t1; ++t) {
-              const std::uint32_t dst =
-                  unified ? storage.tasks_unified->gpu_at(stream, t)
-                          : (*storage.tasks_device)[t];
-              detail::atomic_sub(m.csc.values[dst],
-                                 m.csc.values[src + (t - t0)] * ujk);
-              ++ops;
-            }
-          }
+          std::uint64_t ops = 0;
+          apply_sub_column(static_cast<std::size_t>(sub_begin + b), ops);
           ctx.add_ops(ops);
         });
   }

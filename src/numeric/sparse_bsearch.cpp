@@ -2,12 +2,15 @@
 // (§3.4, Algorithm 6) with GLU3.0's type-A/B/C level kernels.
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <optional>
 
 #include "gpusim/device_buffer.hpp"
 #include "numeric/column_kernel.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu::numeric {
@@ -32,11 +35,16 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
   WallTimer timer;
   NumericStats stats;
   const std::uint64_t ops_before = dev.stats().kernel_ops;
-  if (plan != nullptr) {
-    E2ELU_CHECK_MSG(plan->type.size() ==
-                        static_cast<std::size_t>(s.num_levels()),
-                    "level plan does not match the schedule");
+  // A caller with no cached plan gets a local one: classification (and
+  // clustering) happen once per factorize instead of once per level.
+  std::optional<LevelPlan> local_plan;
+  if (plan == nullptr) {
+    local_plan.emplace(build_level_plan(m, s, dev.spec(), opt.fusion));
+    plan = &*local_plan;
   }
+  E2ELU_CHECK_MSG(plan->type.size() ==
+                      static_cast<std::size_t>(s.num_levels()),
+                  "level plan does not match the schedule");
 
   // Device residency: As in CSC (values + structure), the CSR pattern for
   // sub-column walks, and the position map. All nnz-sized — this is the
@@ -46,19 +54,69 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
   std::optional<DeviceFactorMatrix> mirrors;
   if (!opt.device_resident) mirrors.emplace(dev, m);
 
-  for (index_t l = 0; l < s.num_levels(); ++l) {
-    const index_t width = s.level_width(l);
-    double warp_eff;
-    scheduling::LevelType type;
-    if (plan != nullptr) {
-      warp_eff = plan->warp_eff[l];
-      type = plan->type[l];
-    } else {
-      const double avg_l = detail::mean_l_length(m, s, l);
-      warp_eff = dev.spec().simt_efficiency(std::max(avg_l, 1.0));
-      type = scheduling::classify_level(width,
-                                        detail::mean_sub_columns(m, s, l));
+  // Streams the per-column type-C launches rotate over (async execution:
+  // independent columns of one level overlap in the sim clock).
+  std::vector<std::unique_ptr<gpusim::Stream>> streams;
+  for (int i = 1; i < opt.async_streams; ++i) {
+    streams.push_back(std::make_unique<gpusim::Stream>(dev));
+  }
+  detail::ReadyFlags flags;  // fused clusters only; allocated on demand
+
+  const scheduling::ClusterSchedule& cs = plan->clusters;
+  for (index_t c = 0; c < cs.num_clusters(); ++c) {
+    const index_t lo = cs.first_level(c);
+    const index_t hi = cs.end_level(c);
+
+    if (cs.is_fused(c)) {
+      // Fused super-level: one launch, block per column, intra-cluster
+      // dependencies resolved through ready flags (see column_kernel.hpp).
+      const index_t first_pos = s.level_ptr[lo];
+      const index_t width = s.level_ptr[hi] - first_pos;
+      if (!flags) flags = detail::make_ready_flags(m.n());
+      std::atomic<bool> failed{false};
+      TRACE_SPAN("numeric.cluster", dev,
+                 {{"first_level", lo},
+                  {"levels", hi - lo},
+                  {"columns", width},
+                  {"format", "sparse"}});
+      dev.launch(
+          {.name = "numeric_fused",
+           .blocks = width,
+           .threads_per_block = 256,
+           .warp_efficiency = detail::cluster_warp_eff(*plan, s, lo, hi),
+           .fused_levels = static_cast<int>(hi - lo)},
+          [&](std::int64_t b, gpusim::KernelContext& ctx) {
+            const index_t j = s.level_cols[first_pos + static_cast<index_t>(b)];
+            std::uint64_t ops = detail::wait_cluster_predecessors(
+                m, s, lo, j, flags.get(), failed);
+            if (failed.load(std::memory_order_relaxed)) {
+              flags[j].store(1, std::memory_order_release);
+              ctx.add_ops(ops);
+              return;
+            }
+            try {
+              ops += detail::process_column_sparse(m, j);
+            } catch (...) {
+              failed.store(true, std::memory_order_relaxed);
+              flags[j].store(1, std::memory_order_release);
+              ctx.add_ops(ops);
+              throw;
+            }
+            flags[j].store(1, std::memory_order_release);
+            ctx.add_ops(ops);
+          });
+      stats.fused_levels += hi - lo;
+      ++stats.fused_clusters;
+      trace::MetricsRegistry::global()
+          .counter("numeric.fused_levels")
+          .add(static_cast<std::uint64_t>(hi - lo));
+      continue;
     }
+
+    const index_t l = lo;
+    const index_t width = s.level_width(l);
+    const double warp_eff = plan->warp_eff[l];
+    const scheduling::LevelType type = plan->type[l];
     TRACE_SPAN("numeric.level", dev,
                {{"level", l},
                 {"width", width},
@@ -70,10 +128,20 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
       // sub-column — the parallelism lives in the sub-columns.
       for (index_t k = s.level_ptr[l]; k < s.level_ptr[l + 1]; ++k) {
         const index_t j = s.level_cols[k];
+        // Columns of one level are independent: rotate them over the
+        // streams (div and update of the same column stay in order on
+        // theirs). The level boundary below is the only join point.
+        gpusim::Stream* stream =
+            streams.empty()
+                ? nullptr
+                : streams[static_cast<std::size_t>(k - s.level_ptr[l]) %
+                          streams.size()]
+                      .get();
         dev.launch({.name = "numeric_div_C",
                     .blocks = 1,
                     .threads_per_block = 256,
-                    .warp_efficiency = warp_eff},
+                    .warp_efficiency = warp_eff,
+                    .stream = stream},
                    [&](std::int64_t, gpusim::KernelContext& ctx) {
                      const offset_t dp = m.diag_pos[j];
                      const value_t diag =
@@ -96,7 +164,8 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
             {.name = "numeric_update_C",
              .blocks = static_cast<std::int64_t>(sub_positions.size()),
              .threads_per_block = 256,
-             .warp_efficiency = warp_eff},
+             .warp_efficiency = warp_eff,
+             .stream = stream},
             [&](std::int64_t b, gpusim::KernelContext& ctx) {
               std::uint64_t ops = 0;
               const offset_t rp = sub_positions[static_cast<std::size_t>(b)];
@@ -117,6 +186,8 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
               ctx.add_ops(ops);
             });
       }
+      // Join the streams before the next level reads this one's results.
+      if (!streams.empty()) dev.synchronize();
     } else {
       // Type A/B: one launch for the whole level, block per column. Full
       // occupancy whenever the level is wide — no M cap in this format.

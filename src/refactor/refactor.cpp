@@ -28,7 +28,7 @@ void Refactorizer::rebuild(const Csr& a) {
   factors_ = lu.factorize(a, artifacts_);
   skeleton_ = numeric::FactorMatrix::build_skeleton(artifacts_.filled);
   plan_ = numeric::build_level_plan(skeleton_, artifacts_.schedule,
-                                    options_.device);
+                                    options_.device, options_.numeric.fusion);
 
   // Value scatter map: A(i0,j0) lands at B(r,c) = (inv_row[i0],
   // inv_col[j0]) of the factorized matrix B = P_r A P_c^T, whose pattern

@@ -1,0 +1,83 @@
+#include "scheduling/fusion.hpp"
+
+#include "support/check.hpp"
+
+namespace e2elu::scheduling {
+
+index_t resolved_width_threshold(const gpusim::DeviceSpec& spec,
+                                 const FusionOptions& opt) {
+  if (opt.width_threshold > 0) return opt.width_threshold;
+  return static_cast<index_t>(spec.max_concurrent_blocks / 2);
+}
+
+ClusterSchedule singleton_clusters(index_t num_levels) {
+  ClusterSchedule c;
+  c.cluster_ptr.resize(static_cast<std::size_t>(num_levels) + 1);
+  for (index_t l = 0; l <= num_levels; ++l) c.cluster_ptr[l] = l;
+  return c;
+}
+
+ClusterSchedule build_cluster_schedule(const LevelSchedule& s,
+                                       const gpusim::DeviceSpec& spec,
+                                       const FusionOptions& opt) {
+  const index_t num_levels = s.num_levels();
+  if (!opt.enabled) return singleton_clusters(num_levels);
+
+  const index_t thr = resolved_width_threshold(spec, opt);
+  ClusterSchedule c;
+  c.cluster_ptr.push_back(0);
+  index_t l = 0;
+  while (l < num_levels) {
+    // Extend a candidate run of fusable levels while the column cap
+    // holds. A run longer than the cap splits into several fused
+    // clusters rather than falling back entirely.
+    index_t end = l;
+    index_t cols = 0;
+    while (end < num_levels && s.level_width(end) < thr &&
+           cols + s.level_width(end) <= opt.max_cluster_columns) {
+      cols += s.level_width(end);
+      ++end;
+    }
+    if (end - l >= opt.min_run) {
+      c.cluster_ptr.push_back(end);
+      l = end;
+    } else {
+      // Too short to amortize (or a single over-cap level): per-level.
+      c.cluster_ptr.push_back(l + 1);
+      ++l;
+    }
+  }
+  validate_clustering(s, c, spec, opt);
+  return c;
+}
+
+void validate_clustering(const LevelSchedule& s, const ClusterSchedule& c,
+                         const gpusim::DeviceSpec& spec,
+                         const FusionOptions& opt) {
+  const index_t num_levels = s.num_levels();
+  E2ELU_CHECK_MSG(!c.cluster_ptr.empty() && c.cluster_ptr.front() == 0 &&
+                      c.cluster_ptr.back() == num_levels,
+                  "clustering does not cover [0, " << num_levels << ")");
+  const index_t thr = resolved_width_threshold(spec, opt);
+  for (index_t k = 0; k < c.num_clusters(); ++k) {
+    E2ELU_CHECK_MSG(c.cluster_ptr[k] < c.cluster_ptr[k + 1],
+                    "empty cluster " << k);
+    if (!c.is_fused(k)) continue;
+    E2ELU_CHECK_MSG(opt.enabled,
+                    "fused cluster " << k << " with fusion disabled");
+    E2ELU_CHECK_MSG(c.level_count(k) >= opt.min_run,
+                    "cluster " << k << " shorter than min_run");
+    index_t cols = 0;
+    for (index_t l = c.first_level(k); l < c.end_level(k); ++l) {
+      E2ELU_CHECK_MSG(s.level_width(l) < thr,
+                      "level " << l << " (width " << s.level_width(l)
+                               << ") too wide for fused cluster " << k);
+      cols += s.level_width(l);
+    }
+    E2ELU_CHECK_MSG(cols <= opt.max_cluster_columns,
+                    "cluster " << k << " exceeds max_cluster_columns ("
+                               << cols << " columns)");
+  }
+}
+
+}  // namespace e2elu::scheduling

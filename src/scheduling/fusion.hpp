@@ -1,0 +1,93 @@
+// Level fusion: collapsing runs of narrow levels into fused super-levels.
+//
+// Circuit-style matrices levelize into thousands of narrow late levels
+// (GLU3.0's type C): each costs a full kernel-launch round-trip and runs
+// at near-zero occupancy, so the schedule tail is launch-overhead bound —
+// exactly what Device::launch charges per call. The fix from the sync-free
+// SpTRSV/LU literature is to stop synchronizing at level boundaries: a
+// *cluster* of consecutive narrow levels executes as ONE kernel whose
+// blocks resolve intra-cluster column dependencies through per-column
+// ready flags (dataflow order instead of bulk-synchronous order). The
+// clustering itself is a host-side pass over the LevelSchedule; this file
+// decides *what* fuses, the numeric executors decide *how* (see
+// numeric/column_kernel.hpp for the ready-flag protocol).
+#pragma once
+
+#include <vector>
+
+#include "gpusim/spec.hpp"
+#include "scheduling/levelize.hpp"
+
+namespace e2elu::scheduling {
+
+/// Tuning knobs for the clustering pass. The defaults are conservative:
+/// fusion is opt-in (NumericOptions::fusion), and the unfused path stays
+/// the bit-exactness reference.
+struct FusionOptions {
+  bool enabled = false;
+  /// Levels at least this wide never fuse. 0 derives the threshold from
+  /// the device: max_concurrent_blocks / 2 — a level below half residency
+  /// leaves the device under-occupied, so folding its neighbours into the
+  /// same grid costs no parallelism it was actually using.
+  index_t width_threshold = 0;
+  /// Upper bound on the total columns of one fused cluster. Caps the
+  /// fused grid (every column is a resident-or-queued block) and the span
+  /// a ready-flag wait can cover.
+  index_t max_cluster_columns = 4096;
+  /// Runs shorter than this stay per-level: a 1-level "cluster" saves no
+  /// launches but would still pay the flag traffic.
+  index_t min_run = 2;
+};
+
+/// The width below which a level is fusable under `opt` on `spec`.
+index_t resolved_width_threshold(const gpusim::DeviceSpec& spec,
+                                 const FusionOptions& opt);
+
+/// A partition of a schedule's levels into contiguous clusters. Clusters
+/// of one level execute on the classic per-level path; clusters of
+/// several levels execute as one fused launch.
+struct ClusterSchedule {
+  std::vector<index_t> cluster_ptr;  ///< size num_clusters+1, into levels
+
+  index_t num_clusters() const {
+    return static_cast<index_t>(
+        cluster_ptr.empty() ? 0 : cluster_ptr.size() - 1);
+  }
+  index_t first_level(index_t c) const { return cluster_ptr[c]; }
+  index_t end_level(index_t c) const { return cluster_ptr[c + 1]; }
+  index_t level_count(index_t c) const {
+    return cluster_ptr[c + 1] - cluster_ptr[c];
+  }
+  bool is_fused(index_t c) const { return level_count(c) > 1; }
+  /// Total logical levels folded into multi-level clusters.
+  index_t fused_level_count() const {
+    index_t total = 0;
+    for (index_t c = 0; c < num_clusters(); ++c) {
+      if (is_fused(c)) total += level_count(c);
+    }
+    return total;
+  }
+};
+
+/// Every level its own cluster — the clustering fusion-off code paths
+/// use, and the identity element of validate_clustering.
+ClusterSchedule singleton_clusters(index_t num_levels);
+
+/// Greedy clustering: walk the levels in order, extend a cluster while
+/// the next level is narrower than the width threshold and the cluster
+/// stays under max_cluster_columns, and keep the cluster only if the run
+/// reaches min_run levels. With fusion disabled this degenerates to
+/// singleton_clusters. The result always passes validate_clustering.
+ClusterSchedule build_cluster_schedule(const LevelSchedule& s,
+                                       const gpusim::DeviceSpec& spec,
+                                       const FusionOptions& opt);
+
+/// Oracle: checks a clustering against the exact LevelSchedule it was
+/// built from — cluster_ptr is a partition of [0, num_levels), every
+/// fused cluster obeys min_run / width_threshold / max_cluster_columns,
+/// and no cluster is fused when fusion is disabled. Throws on violation.
+void validate_clustering(const LevelSchedule& s, const ClusterSchedule& c,
+                         const gpusim::DeviceSpec& spec,
+                         const FusionOptions& opt);
+
+}  // namespace e2elu::scheduling

@@ -74,16 +74,39 @@ DependencyGraph build_dependency_graph(const Csr& filled,
     }
   };
 
+  // Reserve from a cheap counting pass: row i emits at most its
+  // strict-upper lengths in As and As^T combined (the merge only dedups
+  // U+L-coupled entries or drops L-only ones, never adds). The merge —
+  // which under DoubleU runs a row intersection per L-only entry — then
+  // executes exactly once per row into its slot, instead of twice as a
+  // count pass plus an emission pass, and the dedup of entries present in
+  // both directions happens during that single emission.
+  std::vector<offset_t> bound(static_cast<std::size_t>(n) + 1, 0);
   for (index_t i = 0; i < n; ++i) {
-    offset_t cnt = 0;
-    merge_upper(i, [&](index_t) { ++cnt; });
-    g.adj_ptr[i + 1] = g.adj_ptr[i] + cnt;
+    const auto ra = filled.row_cols(i);
+    const auto rt = t.row_cols(i);
+    const offset_t upper =
+        static_cast<offset_t>(ra.end() -
+                              std::upper_bound(ra.begin(), ra.end(), i)) +
+        static_cast<offset_t>(rt.end() -
+                              std::upper_bound(rt.begin(), rt.end(), i));
+    bound[i + 1] = bound[i] + upper;
   }
-  g.adj.resize(g.adj_ptr.back());
+  g.adj.resize(static_cast<std::size_t>(bound[n]));
   for (index_t i = 0; i < n; ++i) {
-    offset_t w = g.adj_ptr[i];
+    offset_t w = bound[i];
     merge_upper(i, [&](index_t j) { g.adj[w++] = j; });
+    g.adj_ptr[i + 1] = g.adj_ptr[i] + (w - bound[i]);
   }
+  // Compact the slack out in place (left-to-right is safe: the packed
+  // position never passes the reserved one).
+  for (index_t i = 0; i < n; ++i) {
+    std::copy(g.adj.begin() + bound[i],
+              g.adj.begin() + bound[i] + (g.adj_ptr[i + 1] - g.adj_ptr[i]),
+              g.adj.begin() + g.adj_ptr[i]);
+  }
+  g.adj.resize(static_cast<std::size_t>(g.adj_ptr[n]));
+  g.adj.shrink_to_fit();
   return g;
 }
 

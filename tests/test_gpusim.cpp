@@ -220,5 +220,114 @@ TEST(DeviceStats, PercentagesAreConsistent) {
               1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Streams, events, and the overlap-aware time model
+// ---------------------------------------------------------------------------
+
+TEST(Streams, SerialWorkKeepsElapsedEqualToTotal) {
+  Device dev(small_spec(1u << 22));
+  dev.launch({.name = "a", .blocks = 160},
+             [](std::int64_t, KernelContext& ctx) { ctx.add_ops(32000); });
+  dev.copy_h2d(1 << 20);
+  dev.launch({.name = "b", .blocks = 16},
+             [](std::int64_t, KernelContext& ctx) { ctx.add_ops(1000); });
+  // No streams: everything serializes, so the overlap-aware wall clock
+  // must equal the summed component times.
+  EXPECT_NEAR(dev.stats().sim_elapsed_us, dev.stats().sim_total_us(), 1e-9);
+  EXPECT_NEAR(dev.synchronize(), dev.stats().sim_total_us(), 1e-9);
+}
+
+TEST(Streams, ConcurrentKernelsOverlapInTheSimClock) {
+  Device dev(small_spec());
+  const double L = dev.spec().host_launch_us;
+  // One kernel's time at full occupancy: 160 blocks * 200k ops = 100 us.
+  const auto body = [](std::int64_t, KernelContext& ctx) {
+    ctx.add_ops(200'000);
+  };
+  const double K = 160.0 * 200'000 / dev.spec().gpu_ops_per_us;
+  {
+    Stream s1(dev), s2(dev);
+    dev.launch({.name = "k1", .blocks = 160, .stream = &s1}, body);
+    dev.launch({.name = "k2", .blocks = 160, .stream = &s2}, body);
+    // Host issue serializes (2L); the kernels themselves overlap: the
+    // second starts at 2L, so completion is 2L + K, not 2L + 2K.
+    EXPECT_NEAR(s1.ready_us(), L + K, 1e-9);
+    EXPECT_NEAR(s2.ready_us(), 2 * L + K, 1e-9);
+    EXPECT_NEAR(dev.elapsed_us(), 2 * L + K, 1e-9);
+  }
+  EXPECT_LT(dev.elapsed_us(), dev.stats().sim_total_us() - K / 2);
+  // Destroying the streams joined their timelines into the default one.
+  EXPECT_NEAR(dev.synchronize(), 2 * L + K, 1e-9);
+}
+
+TEST(Streams, DefaultStreamLaunchIsAFullBarrier) {
+  Device dev(small_spec());
+  const double L = dev.spec().host_launch_us;
+  const auto body = [](std::int64_t, KernelContext& ctx) {
+    ctx.add_ops(200'000);
+  };
+  const double K = 160.0 * 200'000 / dev.spec().gpu_ops_per_us;
+  Stream s(dev);
+  dev.launch({.name = "async", .blocks = 160, .stream = &s}, body);
+  // A null-stream launch starts only after the async work completes and
+  // drags every timeline with it.
+  dev.launch({.name = "sync", .blocks = 160}, body);
+  EXPECT_NEAR(dev.elapsed_us(), (L + K) + (L + K), 1e-9);
+  EXPECT_NEAR(s.ready_us(), dev.elapsed_us(), 1e-9);
+}
+
+TEST(Streams, EventOrdersWorkAcrossStreams) {
+  Device dev(small_spec());
+  const double L = dev.spec().host_launch_us;
+  const auto body = [](std::int64_t, KernelContext& ctx) {
+    ctx.add_ops(200'000);
+  };
+  const double K = 160.0 * 200'000 / dev.spec().gpu_ops_per_us;
+  Stream s1(dev), s2(dev);
+  dev.launch({.name = "produce", .blocks = 160, .stream = &s1}, body);
+  Event done;
+  done.record(s1);
+  EXPECT_NEAR(done.timestamp_us(), L + K, 1e-9);
+  s2.wait(done);  // consumer ordered after the producer, not after 0
+  dev.launch({.name = "consume", .blocks = 160, .stream = &s2}, body);
+  EXPECT_NEAR(s2.ready_us(), (L + K) + K, 1e-9);
+}
+
+TEST(Streams, LaunchOnForeignStreamIsRejected) {
+  Device a(small_spec()), b(small_spec());
+  Stream sb(b);
+  EXPECT_THROW(a.launch({.name = "x", .blocks = 1, .stream = &sb},
+                        [](std::int64_t, KernelContext&) {}),
+               Error);
+}
+
+TEST(FusedLaunch, AmortizesOverheadAndCountsLevels) {
+  Device dev(small_spec());
+  dev.launch({.name = "fused", .blocks = 8, .fused_levels = 5},
+             [](std::int64_t, KernelContext& ctx) { ctx.add_ops(10); });
+  EXPECT_EQ(dev.stats().host_launches, 1u);
+  EXPECT_EQ(dev.stats().fused_launches, 1u);
+  EXPECT_EQ(dev.stats().fused_levels, 5u);
+  // One launch overhead regardless of how many levels were folded in.
+  EXPECT_DOUBLE_EQ(dev.stats().sim_launch_us, dev.spec().host_launch_us);
+  // An unfused launch records nothing in the fused counters.
+  dev.launch({.name = "plain", .blocks = 8},
+             [](std::int64_t, KernelContext& ctx) { ctx.add_ops(10); });
+  EXPECT_EQ(dev.stats().fused_launches, 1u);
+  EXPECT_THROW(dev.launch({.name = "bad", .blocks = 1, .fused_levels = 0},
+                          [](std::int64_t, KernelContext&) {}),
+               Error);
+}
+
+TEST(Occupancy, WeightedKernelTimeTracksGridSize) {
+  Device dev(small_spec());
+  dev.launch({.name = "sixteenth", .blocks = 10},
+             [](std::int64_t, KernelContext& ctx) { ctx.add_ops(1000); });
+  const auto& st = dev.stats();
+  // 10 of 160 blocks resident: weighted time is 1/16 of kernel time.
+  EXPECT_NEAR(st.sim_occupancy_us, st.sim_kernel_us / 16.0, 1e-12);
+  EXPECT_NEAR(st.avg_occupancy(), 1.0 / 16.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace e2elu::gpusim
