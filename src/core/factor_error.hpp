@@ -1,0 +1,60 @@
+// Structured pipeline failure: what went wrong (kind), where in the
+// pipeline (phase), and — when the failure is column-localized, like a
+// zero pivot — which column. Thrown only after the per-phase recovery
+// loops exhaust their budgets, so catching a FactorError means the
+// pipeline genuinely could not produce factors for this input under the
+// configured options. Services fan it out through futures unchanged so
+// clients can match on kind/phase instead of parsing message strings.
+#pragma once
+
+#include <string>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace e2elu {
+
+/// Failure classes the recovery loops can give up on.
+enum class FaultKind {
+  DeviceOutOfMemory,  ///< allocation budget exhausted after re-planning
+  LaunchFailed,       ///< a kernel launch kept failing past the retry budget
+  ZeroPivot,          ///< a pivot stayed zero/NaN through perturbation
+  QuotaExceeded,      ///< service admission: tenant over its quota
+  Rejected,           ///< service admission: queue bound / shutdown
+};
+
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DeviceOutOfMemory: return "DeviceOutOfMemory";
+    case FaultKind::LaunchFailed: return "LaunchFailed";
+    case FaultKind::ZeroPivot: return "ZeroPivot";
+    case FaultKind::QuotaExceeded: return "QuotaExceeded";
+    case FaultKind::Rejected: return "Rejected";
+  }
+  return "Unknown";
+}
+
+class FactorError : public Error {
+ public:
+  FactorError(FaultKind kind, std::string phase, const std::string& message,
+              index_t column = -1)
+      : Error(std::string(fault_kind_name(kind)) + " in " + phase + ": " +
+              message),
+        kind_(kind),
+        phase_(std::move(phase)),
+        column_(column) {}
+
+  FaultKind kind() const { return kind_; }
+  /// Pipeline phase ("preprocess", "symbolic", "levelize", "numeric",
+  /// "solve") or service stage ("admission", "replay") that failed.
+  const std::string& phase() const { return phase_; }
+  /// Column the failure is localized to, or -1 when it is not.
+  index_t column() const { return column_; }
+
+ private:
+  FaultKind kind_;
+  std::string phase_;
+  index_t column_;
+};
+
+}  // namespace e2elu

@@ -51,6 +51,7 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
   E2ELU_CHECK_MSG(!a_in.values.empty(), "matrix has no values");
 
   gpusim::Device dev(options_.device);
+  if (options_.pool != nullptr) dev.use_pool(*options_.pool);
   FactorResult res;
   res.n = a_in.n;
   const index_t n = a_in.n;

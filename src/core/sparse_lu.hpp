@@ -69,6 +69,13 @@ struct Options {
   NumericFormat numeric_format = NumericFormat::Auto;
   gpusim::DeviceSpec device = gpusim::DeviceSpec::v100();
   gpusim::HostSpec host;  ///< CPU model for the baseline's time accounting
+  /// Routes simulated-kernel bodies through this pool instead of
+  /// ThreadPool::global(). A single-worker pool makes block execution
+  /// order — and thus the bits of atomically accumulated factors —
+  /// deterministic; services pin per-worker pools so concurrent jobs do
+  /// not serialize on the global task slot. Not owned; must outlive every
+  /// factorize() using these options.
+  ThreadPool* pool = nullptr;
 
   Ordering ordering = Ordering::Rcm;
   /// Inter-column dependency detection for levelization; Symmetrized is

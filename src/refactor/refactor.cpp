@@ -7,6 +7,7 @@
 #include "preprocess/preprocess.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu::refactor {
@@ -16,6 +17,7 @@ Refactorizer::Refactorizer(const Csr& a, Options options,
     : options_(std::move(options)),
       ropt_(refactor_options),
       device_(options_.device) {
+  if (options_.pool != nullptr) device_.use_pool(*options_.pool);
   rebuild(a);
 }
 
@@ -79,6 +81,27 @@ void Refactorizer::rebuild(const Csr& a) {
       replay_ = {};
     }
   }
+  trace::MetricsRegistry::global()
+      .gauge("refactor.device_footprint_bytes")
+      .set(static_cast<double>(device_footprint_bytes()));
+}
+
+std::size_t Refactorizer::device_footprint_bytes() const {
+  std::size_t total = 0;
+  if (device_matrix_.has_value()) {
+    total += device_matrix_->col_ptr.bytes() + device_matrix_->row_ptr.bytes() +
+             device_matrix_->map.bytes() + device_matrix_->row_idx.bytes() +
+             device_matrix_->col_idx.bytes() + device_matrix_->values.bytes();
+  }
+  if (device_replay_.has_value()) {
+    total += device_replay_->ujk_pos.bytes() +
+             device_replay_->src_start.bytes() +
+             device_replay_->task_start.bytes();
+    if (device_replay_->tasks_device.has_value()) {
+      total += device_replay_->tasks_device->bytes();
+    }
+  }
+  return total;
 }
 
 RefactorReport Refactorizer::fall_back(const Csr& a_new, const char* reason,

@@ -108,6 +108,15 @@ class Refactorizer {
   /// counters accumulate over all refactorize() calls.
   gpusim::Device& device() { return device_; }
 
+  /// Exact device-resident bytes this cache pins between calls: the
+  /// structure + value buffers of the skeleton plus the replay task list
+  /// (device-memory portion only — a managed-memory task array pages in
+  /// and out on demand and pins nothing). This is the cost signal an LRU
+  /// evictor charges a cached plan with; it equals the device's
+  /// allocated_bytes() whenever no call is in flight, and is republished
+  /// to the refactor.device_footprint_bytes gauge on every rebuild.
+  std::size_t device_footprint_bytes() const;
+
  private:
   void rebuild(const Csr& a);
   RefactorReport fall_back(const Csr& a_new, const char* reason,

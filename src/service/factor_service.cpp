@@ -1,0 +1,378 @@
+#include "service/factor_service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "numeric/numeric.hpp"
+#include "support/check.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace e2elu::service {
+
+namespace {
+
+std::uint64_t launches_of(const gpusim::DeviceStats& d) {
+  return d.host_launches + d.device_launches;
+}
+
+/// Every failure surfaces through the job's future as a structured
+/// FactorError so tenants can match on kind/phase; raw device and numeric
+/// exceptions are wrapped, anything else keeps its type (caller bugs
+/// should look like caller bugs).
+std::exception_ptr wrap_error(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const FactorError&) {
+    return error;
+  } catch (const gpusim::OutOfDeviceMemory& e) {
+    return std::make_exception_ptr(
+        FactorError(FaultKind::DeviceOutOfMemory, "service", e.what()));
+  } catch (const gpusim::LaunchFailure& e) {
+    return std::make_exception_ptr(
+        FactorError(FaultKind::LaunchFailed, "service", e.what()));
+  } catch (const numeric::ZeroPivotError& e) {
+    return std::make_exception_ptr(FactorError(FaultKind::ZeroPivot, "service",
+                                               e.what(), e.column()));
+  } catch (...) {
+    return error;
+  }
+}
+
+}  // namespace
+
+FactorService::FactorService(FactorServiceOptions options)
+    : opt_(std::move(options)),
+      cache_(opt_.cache),
+      queue_(opt_.max_queue),
+      paused_(opt_.start_paused) {
+  E2ELU_CHECK_MSG(opt_.workers >= 1, "FactorService needs at least 1 worker");
+  if (opt_.deterministic) {
+    worker_pools_.reserve(opt_.workers);
+    for (std::size_t w = 0; w < opt_.workers; ++w) {
+      worker_pools_.push_back(std::make_unique<ThreadPool>(1));
+    }
+  }
+  workers_.reserve(opt_.workers);
+  for (std::size_t w = 0; w < opt_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+FactorService::~FactorService() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    closing_ = true;
+    paused_ = false;
+  }
+  cv_pause_.notify_all();
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<JobResult> FactorService::submit(
+    Csr a, std::optional<std::vector<value_t>> rhs, const std::string& tenant,
+    int priority) {
+  TRACE_SPAN("service.admission",
+             {{"n", a.n}, {"nnz", a.nnz()}, {"priority", priority}});
+  validate(a);
+  E2ELU_CHECK_MSG(!a.values.empty(), "submit: matrix has no values");
+  if (rhs.has_value()) {
+    E2ELU_CHECK_MSG(rhs->size() == static_cast<std::size_t>(a.n),
+                    "submit: rhs size " << rhs->size()
+                                        << " does not match matrix order "
+                                        << a.n);
+  }
+
+  Job job;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job.tenant = tenant;
+  job.priority = priority;
+  job.a = std::move(a);
+  job.rhs = std::move(rhs);
+  std::future<JobResult> future = job.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = tenants_.try_emplace(tenant);
+    if (inserted) it->second.quota = opt_.tenant_quota;
+    TenantState& state = it->second;
+    if (state.in_flight >= state.quota) {
+      ++state.stats.quota_rejections;
+      ++stats_.quota_rejections;
+      trace::MetricsRegistry::global()
+          .counter("service.quota_rejections")
+          .add(1);
+      trace::MetricsRegistry::global()
+          .counter("service.tenant." + tenant + ".rejected")
+          .add(1);
+      throw FactorError(FaultKind::QuotaExceeded, "admission",
+                        "tenant '" + tenant + "' has " +
+                            std::to_string(state.in_flight) +
+                            " jobs in flight (quota " +
+                            std::to_string(state.quota) + ")");
+    }
+    ++state.in_flight;
+    ++state.stats.submitted;
+    ++stats_.submitted;
+    ++pending_;
+  }
+
+  // Backpressure: blocks while the queue is at capacity, so a saturated
+  // service throttles producers instead of buffering unboundedly.
+  if (!queue_.push(std::move(job), priority)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      TenantState& state = tenants_[tenant];
+      --state.in_flight;
+      --state.stats.submitted;
+      --stats_.submitted;
+      --pending_;
+    }
+    cv_idle_.notify_all();
+    throw FactorError(FaultKind::Rejected, "admission",
+                      "service is shutting down");
+  }
+  auto& registry = trace::MetricsRegistry::global();
+  registry.counter("service.jobs").add(1);
+  registry.counter("service.tenant." + tenant + ".jobs").add(1);
+  registry.histogram("service.queue_depth")
+      .record(static_cast<double>(queue_.size()));
+  return future;
+}
+
+void FactorService::set_tenant_quota(const std::string& tenant,
+                                     std::size_t max_in_flight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  it->second.quota = max_in_flight;
+}
+
+void FactorService::pause() {
+  std::lock_guard<std::mutex> lock(pause_mutex_);
+  paused_ = true;
+}
+
+void FactorService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ = false;
+  }
+  cv_pause_.notify_all();
+}
+
+void FactorService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return pending_ == 0; });
+}
+
+FactorServiceStats FactorService::stats() const {
+  FactorServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_;
+  }
+  s.max_queue_depth = queue_.max_depth();
+  s.cache = cache_.stats();
+  return s;
+}
+
+TenantStats FactorService::tenant_stats(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantStats{} : it->second.stats;
+}
+
+void FactorService::worker_loop(std::size_t worker_id) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mutex_);
+      cv_pause_.wait(lock, [&] { return !paused_ || closing_; });
+    }
+    std::optional<Job> slot = queue_.pop();
+    if (!slot.has_value()) return;  // closed and fully drained
+    Job job = std::move(*slot);
+    try {
+      finish_job(job, run_job(job, worker_id));
+    } catch (...) {
+      fail_job(job, wrap_error(std::current_exception()));
+    }
+  }
+}
+
+JobResult FactorService::run_job(Job& job, std::size_t worker_id) {
+  TRACE_SPAN("service.job", {{"n", job.a.n},
+                             {"nnz", job.a.nnz()},
+                             {"priority", job.priority}});
+  JobResult r;
+  r.job_id = job.id;
+  r.tenant = job.tenant;
+  r.priority = job.priority;
+
+  PatternCache::EntryPtr entry;
+  if (opt_.cache_enabled) {
+    TRACE_SPAN("service.cache_lookup");
+    entry = cache_.lookup(job.a);
+    trace::MetricsRegistry::global()
+        .counter(entry ? "service.cache_hits" : "service.cache_misses")
+        .add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++(entry ? stats_.cache_hits : stats_.cache_misses);
+  }
+
+  if (entry) {
+    // Warm path: numeric-only replay through the cached plan. The entry
+    // mutex keeps each plan single-flight — refactorize() mutates the
+    // cached skeleton in place.
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    TRACE_SPAN("service.replay", entry->engine->device(),
+               {{"n", job.a.n}, {"hits", entry->hits}});
+    refactor::RefactorReport rep;
+    try {
+      rep = entry->engine->refactorize(job.a);
+    } catch (...) {
+      // The engine may be mid-rebuild (a fallback that itself failed):
+      // unlink it so the next same-pattern job rebuilds cleanly instead
+      // of replaying through a half-updated plan.
+      cache_.remove(entry);
+      throw;
+    }
+    r.cache_hit = true;
+    r.replayed = rep.reused;
+    r.demoted = rep.fell_back;
+    r.launches = launches_of(rep.device);
+    r.sim_us = rep.total_sim_us();
+    r.factors = entry->engine->factors();
+    if (rep.fell_back) {
+      cache_.refresh_footprint(*entry);
+      trace::MetricsRegistry::global().counter("service.demotions").add(1);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.demotions;
+    }
+  } else {
+    r = run_cold(job, worker_id);
+  }
+
+  if (job.rhs.has_value()) {
+    TRACE_SPAN("service.solve", {{"n", job.a.n}});
+    r.x = SparseLU::solve(r.factors, *job.rhs);
+  }
+  trace::MetricsRegistry::global()
+      .histogram("service.job_sim_us")
+      .record(r.sim_us);
+  trace::MetricsRegistry::global()
+      .histogram("service.job_launches")
+      .record(static_cast<double>(r.launches));
+  return r;
+}
+
+JobResult FactorService::run_cold(Job& job, std::size_t worker_id) {
+  JobResult r;
+  r.job_id = job.id;
+  r.tenant = job.tenant;
+  r.priority = job.priority;
+
+  Options popt = opt_.pipeline;
+  if (opt_.deterministic) popt.pool = worker_pools_[worker_id].get();
+  if (opt_.cache_enabled && opt_.fuse_replays) {
+    popt.numeric.fusion.enabled = true;
+  }
+
+  if (opt_.cache_enabled) {
+    // Pre-build pressure relief: clear LRU plans until the symbolic
+    // estimate fits, so the build starts with headroom instead of
+    // discovering pressure mid-allocation.
+    const std::size_t evicted =
+        cache_.evict_for(PatternCache::estimate_footprint(job.a));
+    if (evicted > 0) {
+      trace::MetricsRegistry::global()
+          .counter("service.pressure_evictions")
+          .add(evicted);
+    }
+  }
+
+  // Full pipeline through a fresh Refactorizer (so the resulting plan is
+  // cacheable). Allocation failures release LRU plans and retry — under
+  // injected or transient memory pressure the job recovers instead of
+  // failing; a genuinely too-large problem exhausts the bounded attempts
+  // and surfaces as FactorError{DeviceOutOfMemory}.
+  std::unique_ptr<refactor::Refactorizer> engine;
+  constexpr int kMaxBuildAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      TRACE_SPAN("service.factorize",
+                 {{"n", job.a.n}, {"nnz", job.a.nnz()}, {"attempt", attempt}});
+      engine = std::make_unique<refactor::Refactorizer>(job.a, popt,
+                                                        opt_.refactor);
+      break;
+    } catch (const gpusim::OutOfDeviceMemory&) {
+      if (attempt >= kMaxBuildAttempts) throw;
+    } catch (const FactorError& e) {
+      if (e.kind() != FaultKind::DeviceOutOfMemory ||
+          attempt >= kMaxBuildAttempts) {
+        throw;
+      }
+    }
+    if (opt_.cache_enabled) cache_.evict_lru();
+    trace::MetricsRegistry::global().counter("service.build_retries").add(1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.build_retries;
+    }
+  }
+
+  // Snapshot the result before the cache takes the engine: once inserted,
+  // another worker may lock the entry and replay new values through it.
+  r.launches = launches_of(engine->factors().device_stats);
+  r.sim_us = engine->factors().total_sim_us();
+  r.factors = engine->factors();
+  if (opt_.cache_enabled) cache_.insert(job.a, std::move(engine));
+  return r;
+}
+
+// Accounting precedes promise resolution in both paths, so a client that
+// observed its future resolve sees stats that already include its job.
+void FactorService::finish_job(Job& job, JobResult result) {
+  result.completed_seq =
+      completed_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  retire_job(job.tenant, /*failed=*/false, result.replayed);
+  job.promise.set_value(std::move(result));
+}
+
+void FactorService::fail_job(Job& job, std::exception_ptr error) {
+  trace::MetricsRegistry::global().counter("service.failures").add(1);
+  trace::MetricsRegistry::global()
+      .counter("service.tenant." + job.tenant + ".failures")
+      .add(1);
+  retire_job(job.tenant, /*failed=*/true, /*replayed=*/false);
+  job.promise.set_exception(error);
+}
+
+void FactorService::retire_job(const std::string& tenant, bool failed,
+                               bool replayed) {
+  if (replayed) {
+    trace::MetricsRegistry::global()
+        .counter("service.tenant." + tenant + ".replays")
+        .add(1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantState& state = tenants_[tenant];
+    --state.in_flight;
+    if (failed) {
+      ++state.stats.failed;
+      ++stats_.failed;
+    } else {
+      ++state.stats.completed;
+      ++stats_.completed;
+      if (replayed) {
+        ++state.stats.replays;
+        ++stats_.replays;
+      }
+    }
+    --pending_;
+    if (pending_ == 0) cv_idle_.notify_all();
+  }
+}
+
+}  // namespace e2elu::service

@@ -1,0 +1,62 @@
+// Structure hashing for the FactorService pattern cache.
+//
+// Circuit-simulation fleets resubmit the *same sparsity pattern* with new
+// values thousands of times (every Newton iteration, every transient
+// step), so the cache key must depend on exactly the structure the
+// symbolic pipeline consumes — dimension, row extents, column indices —
+// and on nothing the numeric phase is allowed to change (the values).
+// Deliberately NOT permutation-invariant: the pipeline's preprocessing
+// (matching, ordering) runs downstream of admission, so two row-permuted
+// inputs are different submissions with different symbolic outcomes and
+// must key different cache entries.
+//
+// A 64-bit hash over megabyte-scale index arrays can collide (and a test
+// forces it to), so the hash only *routes*: every cache hit is confirmed
+// by a full pattern comparison before a plan is reused. See
+// PatternCache::lookup.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.hpp"
+
+namespace e2elu::service {
+
+/// FNV-1a over 64-bit words. Seeded per field group so that, e.g., an
+/// empty row_ptr and an empty col_idx cannot cancel.
+inline std::uint64_t hash_words_fnv1a(std::uint64_t h, const void* data,
+                                      std::size_t bytes) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+/// Hash of a matrix's sparsity structure: n + row_ptr + col_idx, values
+/// excluded. Equal for value-different same-pattern matrices; any pattern
+/// perturbation — an entry moved within a row, a row rebalanced, a
+/// dimension change — changes the input words and (modulo collisions,
+/// which the cache resolves by full comparison) the hash.
+inline std::uint64_t structure_hash(const Csr& a) {
+  constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  std::uint64_t h = kOffsetBasis;
+  const std::uint64_t n = static_cast<std::uint64_t>(a.n);
+  h = hash_words_fnv1a(h, &n, sizeof(n));
+  h = hash_words_fnv1a(h, a.row_ptr.data(),
+                       a.row_ptr.size() * sizeof(offset_t));
+  h = hash_words_fnv1a(h, a.col_idx.data(),
+                       a.col_idx.size() * sizeof(index_t));
+  return h;
+}
+
+/// The confirmation predicate behind every hash hit: exact structural
+/// equality (dimension, row_ptr, col_idx). Alias of matrix/same_pattern
+/// under the name the cache's contract uses.
+inline bool same_structure(const Csr& a, const Csr& b) {
+  return a.n == b.n && same_pattern(a, b);
+}
+
+}  // namespace e2elu::service

@@ -1,6 +1,5 @@
 #include "solve/service.hpp"
 
-#include <chrono>
 #include <utility>
 
 #include "core/factor_error.hpp"
@@ -18,19 +17,14 @@ SolverService::SolverService(gpusim::Device& device,
       factors_(factorization),
       solver_(device, factors_),
       batched_(solver_),
-      device_(&device) {
+      device_(&device),
+      queue_(options.max_queue) {
   E2ELU_CHECK_MSG(opt_.max_batch >= 1, "max_batch must be at least 1");
-  E2ELU_CHECK_MSG(opt_.max_queue >= 1, "max_queue must be at least 1");
   drainer_ = std::thread([this] { drainer_loop(); });
 }
 
 SolverService::~SolverService() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  cv_space_.notify_all();
+  queue_.close();
   drainer_.join();
 }
 
@@ -44,14 +38,21 @@ std::future<std::vector<value_t>> SolverService::submit(
   req.b = std::move(b);
   std::future<std::vector<value_t>> future = req.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_space_.wait(lock, [&] { return queue_.size() < opt_.max_queue || stop_; });
-    E2ELU_CHECK_MSG(!stop_, "submit on a stopping SolverService");
-    queue_.push_back(std::move(req));
-    ++stats_.requests;
-    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
   }
-  cv_work_.notify_one();
+  // Blocks while the queue is at capacity — the backpressure contract.
+  if (!queue_.push(std::move(req))) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    E2ELU_CHECK_MSG(false, "submit on a stopping SolverService");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
   return future;
 }
 
@@ -75,12 +76,14 @@ void SolverService::rebind(const FactorResult& factorization) {
 
 void SolverService::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  cv_idle_.wait(lock, [&] { return pending_ == 0; });
 }
 
 SolverServiceStats SolverService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  SolverServiceStats s = stats_;
+  s.max_queue_depth = queue_.max_depth();
+  return s;
 }
 
 void SolverService::run_batch(std::vector<Request> batch) {
@@ -139,51 +142,24 @@ void SolverService::run_batch(std::vector<Request> batch) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.batches;
     stats_.launches_saved += saved;
+    // Requests resolve exactly here (value or exception), so this is the
+    // one place pending work retires.
+    pending_ -= batch.size();
+    if (pending_ == 0) cv_idle_.notify_all();
   }
 }
 
 void SolverService::drainer_loop() {
   for (;;) {
-    std::vector<Request> batch;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [&] { return !queue_.empty() || stop_; });
-      if (queue_.empty()) {
-        // stop_ with an empty queue: every submitted request is solved.
-        cv_idle_.notify_all();
-        return;
-      }
-      // Linger for co-arrivals: wait until the batch fills or the window
-      // after the first queued request closes. On shutdown the window
-      // collapses so the queue drains promptly.
-      if (opt_.max_wait_us > 0) {
-        const auto deadline = std::chrono::steady_clock::now() +
-                              std::chrono::microseconds(opt_.max_wait_us);
-        cv_work_.wait_until(lock, deadline, [&] {
-          return queue_.size() >=
-                     static_cast<std::size_t>(opt_.max_batch) ||
-                 stop_;
-        });
-      }
-      trace::MetricsRegistry::global()
-          .histogram("solver_service.queue_depth")
-          .record(static_cast<double>(queue_.size()));
-      const std::size_t take =
-          std::min(queue_.size(), static_cast<std::size_t>(opt_.max_batch));
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      busy_ = true;
-    }
-    cv_space_.notify_all();
+    // Micro-batch assembly (bounded wait, linger for co-arrivals, prompt
+    // shutdown drain) all lives in the queue now.
+    std::vector<Request> batch = queue_.pop_batch(
+        static_cast<std::size_t>(opt_.max_batch), opt_.max_wait_us);
+    if (batch.empty()) return;  // closed and fully drained
+    trace::MetricsRegistry::global()
+        .histogram("solver_service.queue_depth")
+        .record(static_cast<double>(batch.size() + queue_.size()));
     run_batch(std::move(batch));
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      busy_ = false;
-      if (queue_.empty()) cv_idle_.notify_all();
-    }
   }
 }
 

@@ -29,7 +29,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -37,6 +36,7 @@
 
 #include "solve/batched.hpp"
 #include "solve/pipeline_solver.hpp"
+#include "support/bounded_queue.hpp"
 
 namespace e2elu::solve {
 
@@ -126,13 +126,17 @@ class SolverService {
   BatchedPipelineSolver batched_;
   gpusim::Device* device_;
 
-  mutable std::mutex mutex_;            ///< queue_, stats_, stop_
-  std::condition_variable cv_work_;     ///< drainer: work available / stop
-  std::condition_variable cv_space_;    ///< producers: queue below bound
-  std::condition_variable cv_idle_;     ///< drain(): queue empty + not busy
-  std::deque<Request> queue_;
-  bool stop_ = false;
-  bool busy_ = false;  ///< a batch is being solved right now
+  /// Admission door: bounded (backpressure), FIFO (priority 0), closed at
+  /// shutdown. The generic queue owns the space/work signalling that used
+  /// to live inline here; see support/bounded_queue.hpp.
+  BoundedQueue<Request> queue_;
+
+  mutable std::mutex mutex_;         ///< stats_, pending_
+  std::condition_variable cv_idle_;  ///< drain(): every admitted request done
+  /// Requests admitted but not yet resolved (queued or in the in-flight
+  /// batch). Tracks completion independently of queue depth so drain()
+  /// cannot return while a drained-but-unsolved batch is still running.
+  std::size_t pending_ = 0;
 
   std::mutex solve_mutex_;  ///< serializes batch execution vs. rebind
   SolverServiceStats stats_;

@@ -1,0 +1,166 @@
+// A bounded, closable, priority-aware MPMC queue — the shared backpressure
+// substrate of the request-facing services.
+//
+// SolverService (solve/service.hpp) and FactorService (service/) both
+// need the same front-door discipline: producers block while the queue is
+// at capacity (a slow device throttles clients instead of buffering
+// unboundedly), consumers drain either single items or lingered
+// micro-batches, and shutdown closes the door to new work while letting
+// everything already admitted drain. This header is that discipline,
+// extracted from SolverService's original inline queue so both services
+// share one implementation.
+//
+// Ordering: items carry an integer priority; pop() and pop_batch() return
+// the highest priority first and FIFO within a priority (a max-heap keyed
+// on (priority, -arrival_seq)). Services that want plain FIFO push
+// everything at priority 0.
+//
+// Linger: pop_batch(max, linger_us) blocks for the first item, then waits
+// up to linger_us for co-arrivals so a batch can fill before it drains —
+// the micro-batching window SolverService amortizes kernel launches with.
+// close() collapses the window so shutdown drains promptly.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace e2elu {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    E2ELU_CHECK_MSG(capacity >= 1, "BoundedQueue capacity must be at least 1");
+  }
+
+  /// Enqueues one item, blocking while the queue is at capacity
+  /// (backpressure). Returns false — without enqueueing — when the queue
+  /// is closed, including when close() happens mid-wait.
+  bool push(T item, int priority = 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return heap_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    heap_.push_back(Slot{priority, next_seq_++, std::move(item)});
+    std::push_heap(heap_.begin(), heap_.end(), SlotLess{});
+    max_depth_ = std::max(max_depth_, heap_.size());
+    lock.unlock();
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item, int priority = 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || heap_.size() >= capacity_) return false;
+      heap_.push_back(Slot{priority, next_seq_++, std::move(item)});
+      std::push_heap(heap_.begin(), heap_.end(), SlotLess{});
+      max_depth_ = std::max(max_depth_, heap_.size());
+    }
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the highest-priority item, blocking until one arrives or
+  /// the queue closes. nullopt means closed *and* fully drained — the
+  /// consumer's signal to exit. After close(), remaining items keep
+  /// popping until empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_item_.wait(lock, [&] { return !heap_.empty() || closed_; });
+    if (heap_.empty()) return std::nullopt;
+    T item = take_top();
+    lock.unlock();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Dequeues up to `max_items`, blocking for the first and lingering up
+  /// to `linger_us` for the batch to fill (0 = drain immediately). Empty
+  /// result means closed and drained. close() collapses the linger window.
+  std::vector<T> pop_batch(std::size_t max_items, std::uint32_t linger_us) {
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_item_.wait(lock, [&] { return !heap_.empty() || closed_; });
+    if (heap_.empty()) return batch;
+    if (linger_us > 0 && heap_.size() < max_items) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(linger_us);
+      cv_item_.wait_until(lock, deadline, [&] {
+        return heap_.size() >= max_items || closed_;
+      });
+    }
+    const std::size_t take = std::min(heap_.size(), max_items);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) batch.push_back(take_top());
+    lock.unlock();
+    cv_space_.notify_all();
+    return batch;
+  }
+
+  /// Closes the door: pending and future pushes fail, consumers drain the
+  /// remainder and then see nullopt / an empty batch. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  /// High-water mark of the queue depth since construction.
+  std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+  }
+
+ private:
+  struct Slot {
+    int priority;
+    std::uint64_t seq;
+    T item;
+  };
+  /// Heap order: highest priority first, earliest arrival within a
+  /// priority (max-heap, so "less" ranks lower priority / later arrival).
+  struct SlotLess {
+    bool operator()(const Slot& a, const Slot& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  T take_top() {
+    std::pop_heap(heap_.begin(), heap_.end(), SlotLess{});
+    T item = std::move(heap_.back().item);
+    heap_.pop_back();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_item_;
+  std::condition_variable cv_space_;
+  std::vector<Slot> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace e2elu

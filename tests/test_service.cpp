@@ -1,0 +1,529 @@
+// FactorService (service/factor_service.hpp) and its parts: the
+// structure-hash pattern cache must route warm submissions through
+// bit-identical replays, bound simulated device memory by LRU eviction,
+// recover cold builds from injected allocation failures by shedding
+// cached plans, and confine an injected fault to the submitting tenant's
+// future while the service keeps serving everyone else. The shared
+// BoundedQueue gets its own coverage: priority order, backpressure,
+// close semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/sparse_lu.hpp"
+#include "fault/fault.hpp"
+#include "matrix/generators.hpp"
+#include "refactor/refactor.hpp"
+#include "service/factor_service.hpp"
+#include "service/pattern_cache.hpp"
+#include "service/structure_hash.hpp"
+#include "support/bounded_queue.hpp"
+#include "support/rng.hpp"
+
+namespace e2elu {
+namespace {
+
+using service::FactorService;
+using service::FactorServiceOptions;
+using service::JobResult;
+using service::PatternCache;
+using service::PatternCacheOptions;
+
+Csr service_matrix(std::uint64_t seed = 0xbeef) {
+  return gen_circuit(400, 5.0, 3, 16, seed);
+}
+
+std::vector<value_t> rhs_for(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = static_cast<value_t>(rng.next_double(-1.0, 1.0));
+  return b;
+}
+
+// Pattern-only preprocessing (no value-dependent matching) so a cached
+// plan and a fresh factorization agree position by position; single
+// worker + deterministic pools make the agreement bitwise.
+FactorServiceOptions deterministic_options() {
+  FactorServiceOptions opt;
+  opt.workers = 1;
+  opt.deterministic = true;
+  opt.pipeline.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  opt.pipeline.match_diagonal = false;
+  return opt;
+}
+
+void expect_bit_identical(const std::vector<value_t>& a,
+                          const std::vector<value_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(value_t)));
+}
+
+// ---------------------------------------------------------------- hash --
+
+TEST(StructureHash, SamePatternDifferentValuesHashEqual) {
+  const Csr a = service_matrix();
+  const Csr b = gen_value_drift(a, 0.5, 7);
+  ASSERT_FALSE(a.values == b.values);
+  EXPECT_EQ(service::structure_hash(a), service::structure_hash(b));
+  EXPECT_TRUE(service::same_structure(a, b));
+}
+
+TEST(StructureHash, AnyPatternPerturbationChangesTheHash) {
+  const Csr a = service_matrix();
+  const std::uint64_t h = service::structure_hash(a);
+
+  // Different connectivity, same order.
+  const Csr other = service_matrix(0xfeed);
+  ASSERT_FALSE(same_pattern(a, other));
+  EXPECT_NE(h, service::structure_hash(other));
+
+  // One column index nudged within a row.
+  Csr nudged = a;
+  for (index_t row = 0; row < nudged.n; ++row) {
+    const offset_t begin = nudged.row_ptr[static_cast<std::size_t>(row)];
+    const offset_t end = nudged.row_ptr[static_cast<std::size_t>(row) + 1];
+    if (end - begin < 2) continue;
+    auto& c = nudged.col_idx[static_cast<std::size_t>(begin)];
+    auto& next = nudged.col_idx[static_cast<std::size_t>(begin) + 1];
+    if (next - c >= 2) {
+      ++c;
+      EXPECT_NE(h, service::structure_hash(nudged));
+      break;
+    }
+  }
+
+  // An entry moved across rows: same nnz, different row extents.
+  Csr rebalanced = a;
+  for (std::size_t row = 1; row + 1 < rebalanced.row_ptr.size(); ++row) {
+    if (rebalanced.row_ptr[row] > rebalanced.row_ptr[row - 1] &&
+        rebalanced.row_ptr[row] < rebalanced.row_ptr[row + 1]) {
+      --rebalanced.row_ptr[row];
+      EXPECT_NE(h, service::structure_hash(rebalanced));
+      break;
+    }
+  }
+
+  // A dimension change alone.
+  Csr larger = a;
+  larger.n += 1;
+  larger.row_ptr.push_back(larger.row_ptr.back());
+  EXPECT_NE(h, service::structure_hash(larger));
+}
+
+TEST(PatternCache, ForcedCollisionFallsBackToFullComparison) {
+  PatternCacheOptions copt;
+  copt.hash_fn = [](const Csr&) { return 42ull; };  // everything collides
+  PatternCache cache(copt);
+
+  const Csr a = service_matrix(0xbeef);
+  const Csr b = service_matrix(0xfeed);
+  ASSERT_FALSE(same_pattern(a, b));
+
+  Options popt;
+  popt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  popt.match_diagonal = false;
+  cache.insert(a, std::make_unique<refactor::Refactorizer>(a, popt));
+
+  // b routes to the same bucket but must not reuse a's plan.
+  EXPECT_EQ(nullptr, cache.lookup(b));
+  EXPECT_GE(cache.stats().collisions, 1u);
+
+  cache.insert(b, std::make_unique<refactor::Refactorizer>(b, popt));
+  ASSERT_EQ(2u, cache.stats().entries);
+
+  // Both now live in one hash chain; each lookup confirms against the
+  // stored pattern and resolves to its own plan.
+  const PatternCache::EntryPtr hit_a = cache.lookup(a);
+  const PatternCache::EntryPtr hit_b = cache.lookup(b);
+  ASSERT_NE(nullptr, hit_a);
+  ASSERT_NE(nullptr, hit_b);
+  EXPECT_NE(hit_a, hit_b);
+  EXPECT_TRUE(service::same_structure(hit_a->pattern, a));
+  EXPECT_TRUE(service::same_structure(hit_b->pattern, b));
+}
+
+// ------------------------------------------------------------ footprint --
+
+TEST(Refactorizer, DeviceFootprintMatchesDeviceAllocatorExactly) {
+  const Csr a = service_matrix();
+  Options popt;
+  popt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  popt.match_diagonal = false;
+  refactor::Refactorizer refac(a, popt);
+  // Idle between calls, every device-resident byte belongs to the cached
+  // skeleton + replay plan; the footprint signal must equal what the
+  // simulated allocator actually holds, not an estimate.
+  EXPECT_EQ(refac.device_footprint_bytes(), refac.device().allocated_bytes());
+  EXPECT_GT(refac.device_footprint_bytes(), 0u);
+
+  refac.refactorize(gen_value_drift(a, 0.1, 1));
+  EXPECT_EQ(refac.device_footprint_bytes(), refac.device().allocated_bytes());
+}
+
+// ----------------------------------------------------------- warm path --
+
+TEST(FactorService, WarmSubmissionsReplayBitIdenticalToCacheDisabled) {
+  const Csr a = service_matrix();
+  const Csr a2 = gen_value_drift(a, 0.1, 1);
+  const Csr a3 = gen_value_drift(a, 0.1, 2);
+  const std::vector<value_t> b = rhs_for(a.n, 0x5eed);
+
+  FactorServiceOptions cold_opt = deterministic_options();
+  cold_opt.cache_enabled = false;
+  JobResult cold2, cold3;
+  {
+    FactorService baseline(cold_opt);
+    baseline.submit(a, std::nullopt, "t", 0).get();
+    cold2 = baseline.submit(a2, b, "t", 0).get();
+    cold3 = baseline.submit(a3, std::nullopt, "t", 0).get();
+    EXPECT_FALSE(cold2.cache_hit);
+  }
+
+  FactorService warm(deterministic_options());
+  const JobResult first = warm.submit(a, std::nullopt, "t", 0).get();
+  EXPECT_FALSE(first.cache_hit);
+  const JobResult hit2 = warm.submit(a2, b, "t", 0).get();
+  const JobResult hit3 = warm.submit(a3, std::nullopt, "t", 0).get();
+
+  ASSERT_TRUE(hit2.cache_hit);
+  ASSERT_TRUE(hit2.replayed);
+  ASSERT_TRUE(hit3.cache_hit);
+  EXPECT_FALSE(hit2.demoted);
+
+  // The factors a warm replay produces are the factors a cache-disabled
+  // full pipeline produces — bit for bit, including the solve.
+  expect_bit_identical(hit2.factors.l.values, cold2.factors.l.values);
+  expect_bit_identical(hit2.factors.u.values, cold2.factors.u.values);
+  expect_bit_identical(hit3.factors.l.values, cold3.factors.l.values);
+  expect_bit_identical(hit3.factors.u.values, cold3.factors.u.values);
+  ASSERT_TRUE(hit2.x.has_value());
+  ASSERT_TRUE(cold2.x.has_value());
+  expect_bit_identical(*hit2.x, *cold2.x);
+
+  // Replay launch counts are visible per job and show the warm path
+  // skipped the discovery phases.
+  EXPECT_LT(hit2.launches, cold2.launches);
+  EXPECT_LT(hit2.sim_us, cold2.sim_us);
+
+  const auto stats = warm.stats();
+  EXPECT_EQ(2u, stats.cache_hits);
+  EXPECT_EQ(1u, stats.cache_misses);
+  EXPECT_EQ(2u, stats.replays);
+  EXPECT_EQ(2u, warm.tenant_stats("t").replays);
+}
+
+// ----------------------------------------------------------- admission --
+
+TEST(FactorService, QuotaRejectsTheTenantOverLimitOnly) {
+  FactorServiceOptions opt = deterministic_options();
+  opt.start_paused = true;
+  opt.tenant_quota = 2;
+  FactorService svc(opt);
+
+  const Csr a = service_matrix();
+  auto f1 = svc.submit(a, std::nullopt, "greedy", 0);
+  auto f2 = svc.submit(gen_value_drift(a, 0.1, 1), std::nullopt, "greedy", 0);
+  try {
+    svc.submit(gen_value_drift(a, 0.1, 2), std::nullopt, "greedy", 0);
+    FAIL() << "third in-flight job for a quota-2 tenant must be rejected";
+  } catch (const FactorError& e) {
+    EXPECT_EQ(FaultKind::QuotaExceeded, e.kind());
+    EXPECT_EQ("admission", e.phase());
+  }
+  // The quota is per tenant: another tenant admits fine.
+  auto f3 = svc.submit(gen_value_drift(a, 0.1, 3), std::nullopt, "modest", 0);
+
+  svc.resume();
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_NO_THROW(f2.get());
+  EXPECT_NO_THROW(f3.get());
+  EXPECT_EQ(1u, svc.tenant_stats("greedy").quota_rejections);
+  EXPECT_EQ(0u, svc.tenant_stats("modest").quota_rejections);
+
+  // Quota counts in-flight jobs, not lifetime jobs: capacity returns as
+  // futures resolve.
+  EXPECT_NO_THROW(
+      svc.submit(gen_value_drift(a, 0.1, 4), std::nullopt, "greedy", 0).get());
+
+  // And a per-tenant override to zero blocks that tenant entirely.
+  svc.set_tenant_quota("banned", 0);
+  EXPECT_THROW(svc.submit(a, std::nullopt, "banned", 0), FactorError);
+}
+
+TEST(FactorService, FullQueueExertsBackpressureOnSubmit) {
+  FactorServiceOptions opt = deterministic_options();
+  opt.start_paused = true;
+  opt.max_queue = 2;
+  FactorService svc(opt);
+
+  const Csr a = service_matrix();
+  auto f1 = svc.submit(a, std::nullopt, "t", 0);
+  auto f2 = svc.submit(gen_value_drift(a, 0.1, 1), std::nullopt, "t", 0);
+
+  std::atomic<bool> admitted{false};
+  std::future<JobResult> f3;
+  std::thread producer([&] {
+    f3 = svc.submit(gen_value_drift(a, 0.1, 2), std::nullopt, "t", 0);
+    admitted.store(true);
+  });
+  // The queue is at capacity and the service is paused: the third submit
+  // must block rather than buffer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+
+  svc.resume();  // a worker pops, space frees, the producer unblocks
+  producer.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_NO_THROW(f2.get());
+  EXPECT_NO_THROW(f3.get());
+}
+
+TEST(FactorService, HigherPriorityJobsCompleteFirst) {
+  FactorServiceOptions opt = deterministic_options();
+  opt.start_paused = true;
+  FactorService svc(opt);
+
+  const Csr a = service_matrix();
+  auto low = svc.submit(a, std::nullopt, "t", 0);
+  auto high = svc.submit(gen_value_drift(a, 0.1, 1), std::nullopt, "t", 5);
+  auto mid = svc.submit(gen_value_drift(a, 0.1, 2), std::nullopt, "t", 2);
+  svc.resume();
+  svc.drain();
+
+  const JobResult rl = low.get();
+  const JobResult rh = high.get();
+  const JobResult rm = mid.get();
+  // One worker drains the paused backlog strictly by priority.
+  EXPECT_LT(rh.completed_seq, rm.completed_seq);
+  EXPECT_LT(rm.completed_seq, rl.completed_seq);
+}
+
+// ------------------------------------------------------------ eviction --
+
+TEST(FactorService, LruPlansAreEvictedUnderMemoryPressure) {
+  const Csr a = service_matrix(0x01);
+  const Csr b = service_matrix(0x02);
+  const Csr c = service_matrix(0x03);
+
+  // Measure one plan's exact footprint, then budget the service for two.
+  std::size_t footprint;
+  {
+    Options popt = deterministic_options().pipeline;
+    footprint =
+        refactor::Refactorizer(a, popt).device_footprint_bytes();
+  }
+  FactorServiceOptions opt = deterministic_options();
+  opt.cache.memory_budget_bytes = footprint * 2 + footprint / 2;
+  FactorService svc(opt);
+
+  svc.submit(a, std::nullopt, "t", 0).get();
+  svc.submit(b, std::nullopt, "t", 0).get();
+  // Touch a so b is the least recently used plan.
+  EXPECT_TRUE(
+      svc.submit(gen_value_drift(a, 0.1, 1), std::nullopt, "t", 0).get()
+          .cache_hit);
+  svc.submit(c, std::nullopt, "t", 0).get();
+
+  const auto cache = svc.stats().cache;
+  EXPECT_GE(cache.evictions, 1u);
+  EXPECT_LE(cache.resident_bytes, opt.cache.memory_budget_bytes);
+
+  // a survived (recently used), b did not, c is resident.
+  EXPECT_TRUE(
+      svc.submit(gen_value_drift(a, 0.1, 2), std::nullopt, "t", 0).get()
+          .cache_hit);
+  EXPECT_TRUE(
+      svc.submit(gen_value_drift(c, 0.1, 1), std::nullopt, "t", 0).get()
+          .cache_hit);
+  EXPECT_FALSE(
+      svc.submit(gen_value_drift(b, 0.1, 1), std::nullopt, "t", 0).get()
+          .cache_hit);
+}
+
+TEST(FactorService, InjectedAllocationFailureEvictsAndRetries) {
+  FactorServiceOptions opt = deterministic_options();
+  opt.pipeline.recovery.enabled = false;  // faults escape to the service
+  FactorService svc(opt);
+
+  const Csr a = service_matrix(0x01);
+  svc.submit(a, std::nullopt, "t", 0).get();  // seeds the cache
+  ASSERT_EQ(1u, svc.stats().cache.entries);
+
+  const Csr b = service_matrix(0x02);
+  JobResult r;
+  {
+    // One-shot: the third device allocation of b's cold build throws
+    // OutOfDeviceMemory. The service must shed the cached plan and retry
+    // the build rather than fail the job.
+    fault::ScopedPlan plan("alloc=3");
+    r = svc.submit(b, std::nullopt, "t", 0).get();
+  }
+  EXPECT_FALSE(r.cache_hit);
+  const auto stats = svc.stats();
+  EXPECT_GE(stats.build_retries, 1u);
+  EXPECT_GE(stats.cache.evictions, 1u);
+  EXPECT_EQ(0u, stats.failed);
+  // The retried build was cached like any other cold build.
+  EXPECT_TRUE(
+      svc.submit(gen_value_drift(b, 0.1, 1), std::nullopt, "t", 0).get()
+          .cache_hit);
+}
+
+// ----------------------------------------------------- fault isolation --
+
+TEST(FactorService, InjectedFaultsFailOnlyTheTargetTenantsFuture) {
+  FactorServiceOptions opt = deterministic_options();
+  opt.pipeline.recovery.enabled = false;
+  opt.cache_enabled = true;
+  FactorService svc(opt);
+
+  const Csr shared = service_matrix(0x01);
+  EXPECT_NO_THROW(svc.submit(shared, std::nullopt, "alice", 0).get());
+
+  // Campaign hit 1: a zero pivot injected into mallory's cold build.
+  {
+    fault::ScopedPlan plan("pivot_zero=7");
+    auto doomed =
+        svc.submit(service_matrix(0x02), std::nullopt, "mallory", 0);
+    try {
+      doomed.get();
+      FAIL() << "injected zero pivot must fail the submitting future";
+    } catch (const FactorError& e) {
+      EXPECT_EQ(FaultKind::ZeroPivot, e.kind());
+      EXPECT_EQ(7, e.column());
+    }
+  }
+
+  // The service survived and mallory's fault left the cache intact:
+  // alice's plan still replays, bit for bit the same engine.
+  const JobResult warm =
+      svc.submit(gen_value_drift(shared, 0.1, 1), std::nullopt, "alice", 0)
+          .get();
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_TRUE(warm.replayed);
+
+  // Campaign hit 2: every allocation fails, exhausting the bounded
+  // evict-and-retry budget — a structured OOM, still only mallory's.
+  // The retries shed cached plans (that is the recovery path working);
+  // isolation means other tenants' *futures* are untouched, not that
+  // their cache entries are pinned.
+  {
+    fault::ScopedPlan plan("alloc_prob=1.0; seed=11");
+    auto doomed =
+        svc.submit(service_matrix(0x03), std::nullopt, "mallory", 0);
+    try {
+      doomed.get();
+      FAIL() << "unrecoverable injected OOM must fail the submitting future";
+    } catch (const FactorError& e) {
+      EXPECT_EQ(FaultKind::DeviceOutOfMemory, e.kind());
+    }
+  }
+  EXPECT_GE(svc.stats().cache.evictions, 1u);
+
+  // Still serving after both hits: a brand-new tenant factors cold, and
+  // the failure accounting is pinned to mallory alone.
+  EXPECT_NO_THROW(
+      svc.submit(service_matrix(0x04), std::nullopt, "carol", 0).get());
+
+  EXPECT_EQ(2u, svc.tenant_stats("mallory").failed);
+  EXPECT_EQ(0u, svc.tenant_stats("alice").failed);
+  EXPECT_EQ(0u, svc.tenant_stats("carol").failed);
+  EXPECT_EQ(2u, svc.stats().failed);
+  EXPECT_EQ(3u, svc.stats().completed);
+}
+
+TEST(FactorService, DestructorDrainsQueuedJobs) {
+  FactorServiceOptions opt = deterministic_options();
+  opt.start_paused = true;
+  std::future<JobResult> f1, f2;
+  {
+    FactorService svc(opt);
+    const Csr a = service_matrix();
+    f1 = svc.submit(a, std::nullopt, "t", 0);
+    f2 = svc.submit(gen_value_drift(a, 0.1, 1), std::nullopt, "t", 0);
+    // Destroyed while paused with a full backlog: shutdown resumes,
+    // closes admission, and drains — no abandoned promises.
+  }
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_NO_THROW(f2.get());
+}
+
+// -------------------------------------------------------- BoundedQueue --
+
+TEST(BoundedQueue, PopsHighestPriorityFirstFifoWithin) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.push(10, 0));
+  ASSERT_TRUE(q.push(20, 5));
+  ASSERT_TRUE(q.push(21, 5));
+  ASSERT_TRUE(q.push(30, 2));
+  EXPECT_EQ(20, q.pop());
+  EXPECT_EQ(21, q.pop());
+  EXPECT_EQ(30, q.pop());
+  EXPECT_EQ(10, q.pop());
+}
+
+TEST(BoundedQueue, PushBlocksAtCapacityUntilAPopFreesSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  EXPECT_FALSE(q.try_push(2));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(1, q.pop());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(2, q.pop());
+}
+
+TEST(BoundedQueue, CloseDrainsRemainderThenSignalsExit) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // door closed to new work
+  EXPECT_EQ(1, q.pop());    // admitted work still drains
+  EXPECT_EQ(2, q.pop());
+  EXPECT_EQ(std::nullopt, q.pop());  // drained: consumer exit signal
+  EXPECT_TRUE(q.pop_batch(4, 1000).empty());
+}
+
+TEST(BoundedQueue, CloseUnblocksAWaitingPusher) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  EXPECT_FALSE(q.push(2));  // was blocked on capacity; close rejects it
+  closer.join();
+}
+
+TEST(BoundedQueue, PopBatchLingersForCoArrivals) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.push(1));
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.push(2);
+    q.push(3);
+  });
+  // A generous linger window lets the late co-arrivals join the batch.
+  const std::vector<int> batch = q.pop_batch(3, 500000);
+  late.join();
+  EXPECT_EQ(3u, batch.size());
+  EXPECT_EQ(3u, q.max_depth());
+}
+
+}  // namespace
+}  // namespace e2elu
