@@ -14,9 +14,18 @@
 // modes must produce bit-identical factors for every job. Violations exit
 // nonzero so CI gates on the service's reason to exist. Results are also
 // written as BENCH_service.json (argv[1] overrides the path).
+//
+// Telemetry leg: the cached fleet also carries a "mayfly" tenant that
+// submits a structurally fresh matrix every round — a tenant the pattern
+// cache can never help. Its per-tenant latency histogram
+// (service.job_sim_us{tenant=mayfly}) must sit at least kMinWarmSpeedup x
+// above a warm tenant's at p99, and both distributions must show up in a
+// rendered dashboard frame — the per-tenant histogram labels are gated
+// here, not just unit-tested.
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -24,6 +33,8 @@
 #include "matrix/generators.hpp"
 #include "service/factor_service.hpp"
 #include "support/rng.hpp"
+#include "telemetry/dashboard.hpp"
+#include "trace/metrics.hpp"
 
 using namespace e2elu;
 
@@ -65,8 +76,16 @@ service::FactorServiceOptions fleet_options(bool cache_enabled) {
 /// submission drained first (steady state — plans resident before the
 /// warm traffic), then the interleaved warm phase: round-robin across
 /// tenants, each round one value-drifted resubmission per tenant.
+///
+/// with_mayfly additionally interleaves one structurally fresh submission
+/// per warm round under the "mayfly" tenant (a different sparsity pattern
+/// every time — guaranteed cache misses), and clears the metrics registry
+/// between the cold warm-up and the warm phase, so the per-tenant
+/// histograms afterwards hold exactly the steady-state traffic: all-warm
+/// distributions for the fleet tenants, all-cold for the mayfly.
 std::vector<std::vector<JobRecord>> run_fleet(
-    const std::vector<Tenant>& fleet, bool cache_enabled) {
+    const std::vector<Tenant>& fleet, bool cache_enabled,
+    bool with_mayfly = false) {
   service::FactorService svc(fleet_options(cache_enabled));
   std::vector<std::vector<JobRecord>> per_tenant(fleet.size());
 
@@ -78,6 +97,7 @@ std::vector<std::vector<JobRecord>> run_fleet(
     rec.result = std::move(r);
     per_tenant[t].push_back(std::move(rec));
   }
+  if (with_mayfly) trace::MetricsRegistry::global().clear();
 
   for (int round = 1; round <= kWarmPerTenant; ++round) {
     std::vector<std::future<service::JobResult>> futures;
@@ -94,6 +114,14 @@ std::vector<std::vector<JobRecord>> run_fleet(
       rec.factors = r.factors;
       rec.result = std::move(r);
       per_tenant[t].push_back(std::move(rec));
+    }
+    if (with_mayfly) {
+      // Same order as pwr-grid, fresh structure every round: the cost of a
+      // cold build at this size, paid on every single submission.
+      svc.submit(gen_circuit(1200, 6.0, 3, 24,
+                             0x5150 + static_cast<std::uint64_t>(round)),
+                 std::nullopt, "mayfly", 0)
+          .get();
     }
   }
 
@@ -120,13 +148,18 @@ bool factors_bit_identical(const FactorResult& a, const FactorResult& b) {
 }
 
 void write_json(const char* path, const std::vector<TenantRow>& rows,
-                double speedup) {
+                double speedup, double warm_p99, double cold_p99) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[ext_service] cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"warm_speedup\": %.3f,\n  \"tenants\": [\n", speedup);
+  std::fprintf(f,
+               "{\n  \"warm_speedup\": %.3f,\n"
+               "  \"warm_tenant_p99_sim_us\": %.3f,\n"
+               "  \"cold_tenant_p99_sim_us\": %.3f,\n"
+               "  \"tenants\": [\n",
+               speedup, warm_p99, cold_p99);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TenantRow& r = rows[i];
     std::fprintf(
@@ -165,7 +198,28 @@ int main(int argc, char** argv) {
               "fleet (%zu tenants x %d warm submissions) ===\n",
               fleet.size(), kWarmPerTenant);
 
-  const auto cached = run_fleet(fleet, /*cache_enabled=*/true);
+  trace::MetricsRegistry::global().clear();
+  const auto cached = run_fleet(fleet, /*cache_enabled=*/true,
+                                /*with_mayfly=*/true);
+
+  // Steady-state per-tenant latency distributions (the registry holds
+  // only the warm phase; see run_fleet): every pwr-grid sample is a warm
+  // replay, every mayfly sample a cold build of the same-size problem.
+  const auto hists = trace::MetricsRegistry::global().histograms_snapshot();
+  const auto warm_it =
+      hists.find(trace::labeled("service.job_sim_us", "tenant", "pwr-grid"));
+  const auto cold_it =
+      hists.find(trace::labeled("service.job_sim_us", "tenant", "mayfly"));
+  const double warm_p99 = warm_it == hists.end() ? 0.0 : warm_it->second.p99();
+  const double cold_p99 = cold_it == hists.end() ? 0.0 : cold_it->second.p99();
+  std::printf("\nper-tenant sim-latency p99: pwr-grid (warm) %.0f us, "
+              "mayfly (always cold) %.0f us\n",
+              warm_p99, cold_p99);
+  std::printf("\n");
+  telemetry::render_dashboard(std::cout, trace::MetricsRegistry::global());
+  std::printf("\n");
+
+  trace::MetricsRegistry::global().clear();
   const auto uncached = run_fleet(fleet, /*cache_enabled=*/false);
 
   std::printf("\n%-12s %7s %8s | %12s %12s | %12s %12s | %8s\n", "tenant",
@@ -217,7 +271,8 @@ int main(int argc, char** argv) {
               warm_cached_total, warm_uncached_total, speedup,
               kMinWarmSpeedup);
 
-  write_json(argc > 1 ? argv[1] : "BENCH_service.json", rows, speedup);
+  write_json(argc > 1 ? argv[1] : "BENCH_service.json", rows, speedup,
+             warm_p99, cold_p99);
 
   // ---- Gates.
   int failures = 0;
@@ -233,6 +288,17 @@ int main(int argc, char** argv) {
   if (speedup < kMinWarmSpeedup) {
     std::printf("FAIL: warm speedup %.2fx below the %.1fx gate\n", speedup,
                 kMinWarmSpeedup);
+    ++failures;
+  }
+  if (warm_p99 <= 0 || cold_p99 <= 0) {
+    std::printf("FAIL: per-tenant latency histograms missing (warm p99 "
+                "%.0f, cold p99 %.0f)\n",
+                warm_p99, cold_p99);
+    ++failures;
+  } else if (cold_p99 < warm_p99 * kMinWarmSpeedup) {
+    std::printf("FAIL: cold-tenant p99 %.0f us is not %.1fx above the warm "
+                "tenant's %.0f us\n",
+                cold_p99, kMinWarmSpeedup, warm_p99);
     ++failures;
   }
   if (failures == 0) {

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "matrix/generators.hpp"
 #include "service/factor_service.hpp"
 #include "support/rng.hpp"
+#include "telemetry/dashboard.hpp"
+#include "trace/metrics.hpp"
 
 using namespace e2elu;
 
@@ -160,19 +163,13 @@ int main() {
   check(recovered.cache_hit && recovered.replayed,
         "faulted tenant's plan survived its own fault campaign");
 
-  // ---- The isolation ledger.
+  // ---- The isolation ledger: one dashboard frame instead of hand-rolled
+  // counter printing — the same rendering path a production service's
+  // periodic exporter uses, fed entirely from the metrics registry (jobs,
+  // failures, replays, per-tenant latency percentiles, cache state).
   std::printf("\nledger:\n");
   const service::FactorServiceStats stats = svc.stats();
-  for (const Tenant& t : fleet) {
-    const service::TenantStats ts = svc.tenant_stats(t.name);
-    std::printf("  %-10s submitted=%llu completed=%llu failed=%llu "
-                "replays=%llu\n",
-                t.name.c_str(),
-                static_cast<unsigned long long>(ts.submitted),
-                static_cast<unsigned long long>(ts.completed),
-                static_cast<unsigned long long>(ts.failed),
-                static_cast<unsigned long long>(ts.replays));
-  }
+  telemetry::render_dashboard(std::cout, trace::MetricsRegistry::global());
   check(svc.tenant_stats("rf-filter").failed == kSteps,
         "all failures are the faulted tenant's");
   check(svc.tenant_stats("pwr-grid").failed == 0 &&

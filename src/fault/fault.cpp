@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <limits>
+#include <sstream>
 #include <string_view>
 
 #include "support/check.hpp"
@@ -105,6 +106,28 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   return plan;
 }
 
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  const char* sep = "";
+  auto clause = [&]() -> std::ostringstream& {
+    os << sep;
+    sep = ";";
+    return os;
+  };
+  if (seed != 0) clause() << "seed=" << seed;
+  for (const std::uint64_t site : fail_allocs) clause() << "alloc=" << site;
+  if (alloc_probability != 0) clause() << "alloc_prob=" << alloc_probability;
+  for (const LaunchClause& c : fail_launches) {
+    clause() << "launch=" << c.pattern;
+    if (c.nth != 1) os << "@" << c.nth;
+  }
+  for (const PivotClause& c : pivots) {
+    clause() << (c.nan ? "pivot_nan=" : "pivot_zero=") << c.column;
+  }
+  if (um_fault_cost != 1.0) clause() << "fault_cost=" << um_fault_cost;
+  return os.str();
+}
+
 Injector& Injector::instance() {
   static Injector injector;
   return injector;
@@ -195,6 +218,11 @@ std::uint64_t Injector::launch_sites() const {
 std::vector<InjectionEvent> Injector::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_;
+}
+
+std::string Injector::plan_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_.to_string();
 }
 
 bool Injector::configure_from_env() {

@@ -90,6 +90,13 @@ struct FaultPlan {
   /// Parses the clause DSL documented above; throws e2elu::Error on a
   /// malformed clause.
   static FaultPlan parse(const std::string& spec);
+
+  /// Re-serializes the plan into the clause DSL (parse(to_string())
+  /// round-trips the injection behaviour). Trigger bookkeeping (seen /
+  /// spent) is not encoded — the output re-arms the plan from scratch,
+  /// which is what an offline incident replay wants. Empty plans
+  /// serialize to "".
+  std::string to_string() const;
 };
 
 namespace detail {
@@ -142,6 +149,11 @@ class Injector {
 
   /// Triggered injections since the last arm(), in order.
   std::vector<InjectionEvent> events() const;
+
+  /// The armed plan re-serialized to its DSL ("" when none/empty). The
+  /// flight recorder embeds this in incident files so a dumped job can be
+  /// re-run offline under the same injections.
+  std::string plan_text() const;
 
   /// Arms from E2ELU_FAULT_PLAN when set (run once at static-init time so
   /// any binary can be driven externally). Returns true when armed.

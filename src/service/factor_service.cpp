@@ -1,9 +1,11 @@
 #include "service/factor_service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
 #include "numeric/numeric.hpp"
+#include "service/structure_hash.hpp"
 #include "support/check.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -14,6 +16,37 @@ namespace {
 
 std::uint64_t launches_of(const gpusim::DeviceStats& d) {
   return d.host_launches + d.device_launches;
+}
+
+/// Accumulates this scope's wall time into one JobReport phase field —
+/// through exceptions too, so a failed build still attributes its time.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& out)
+      : out_(out), start_(trace::Tracer::instance().now_us()) {}
+  ~PhaseTimer() { out_ += trace::Tracer::instance().now_us() - start_; }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& out_;
+  double start_;
+};
+
+/// Fills the report's failure fields from the (already wrapped) error.
+void note_failure(telemetry::JobReport& report, std::exception_ptr error) {
+  report.failed = true;
+  try {
+    std::rethrow_exception(error);
+  } catch (const FactorError& e) {
+    report.error = e.what();
+    report.error_kind = fault_kind_name(e.kind());
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  } catch (...) {
+    report.error = "unknown error";
+  }
 }
 
 /// Every failure surfaces through the job's future as a structured
@@ -43,10 +76,20 @@ std::exception_ptr wrap_error(std::exception_ptr error) {
 
 FactorService::FactorService(FactorServiceOptions options)
     : opt_(std::move(options)),
+      slo_(opt_.slo),
+      recorder_(opt_.recorder),
       cache_(opt_.cache),
       queue_(opt_.max_queue),
       paused_(opt_.start_paused) {
   E2ELU_CHECK_MSG(opt_.workers >= 1, "FactorService needs at least 1 worker");
+  telemetry::DashboardOptions dopts = telemetry::dashboard_options_from_env();
+  if (dopts.interval_s <= 0 && opt_.dashboard_interval_s > 0) {
+    dopts.interval_s = opt_.dashboard_interval_s;
+    dopts.json = opt_.dashboard_json;
+  }
+  if (dopts.interval_s > 0) {
+    dashboard_ = std::make_unique<telemetry::DashboardExporter>(dopts);
+  }
   if (opt_.deterministic) {
     worker_pools_.reserve(opt_.workers);
     for (std::size_t w = 0; w < opt_.workers; ++w) {
@@ -68,6 +111,8 @@ FactorService::~FactorService() {
   cv_pause_.notify_all();
   queue_.close();
   for (std::thread& t : workers_) t.join();
+  // After the workers: the dashboard's final frame then covers every job.
+  dashboard_.reset();
 }
 
 std::future<JobResult> FactorService::submit(
@@ -90,6 +135,7 @@ std::future<JobResult> FactorService::submit(
   job.priority = priority;
   job.a = std::move(a);
   job.rhs = std::move(rhs);
+  job.submitted_us = trace::Tracer::instance().now_us();
   std::future<JobResult> future = job.promise.get_future();
 
   {
@@ -192,15 +238,46 @@ void FactorService::worker_loop(std::size_t worker_id) {
     std::optional<Job> slot = queue_.pop();
     if (!slot.has_value()) return;  // closed and fully drained
     Job job = std::move(*slot);
+
+    const double popped_us = trace::Tracer::instance().now_us();
+    telemetry::JobReport report;
+    report.job_id = job.id;
+    report.tenant = job.tenant;
+    report.priority = job.priority;
+    report.n = job.a.n;
+    report.nnz = job.a.nnz();
+    report.structure_hash = structure_hash(job.a);
+    report.submitted_at_us = job.submitted_us;
+    report.queue_wait_us = popped_us - job.submitted_us;
+
     try {
-      finish_job(job, run_job(job, worker_id));
+      JobResult result = run_job(job, worker_id, report);
+      finalize_report(report);
+      result.report = report;
+      // Span capture from this worker's own trace ring: the job's spans
+      // (service.job downward) all start at or after the queue pop.
+      recorder_.observe(report,
+                        trace::Tracer::armed()
+                            ? trace::Tracer::instance().collect_current_thread(
+                                  popped_us)
+                            : std::vector<trace::SpanRecord>{});
+      finish_job(job, std::move(result));
     } catch (...) {
-      fail_job(job, wrap_error(std::current_exception()));
+      std::exception_ptr error = wrap_error(std::current_exception());
+      note_failure(report, error);
+      finalize_report(report);
+      recorder_.observe(report,
+                        trace::Tracer::armed()
+                            ? trace::Tracer::instance().collect_current_thread(
+                                  popped_us)
+                            : std::vector<trace::SpanRecord>{});
+      fail_job(job, error);
     }
   }
 }
 
-JobResult FactorService::run_job(Job& job, std::size_t worker_id) {
+JobResult FactorService::run_job(Job& job, std::size_t worker_id,
+                                 telemetry::JobReport& report) {
   TRACE_SPAN("service.job", {{"n", job.a.n},
                              {"nnz", job.a.nnz()},
                              {"priority", job.priority}});
@@ -212,6 +289,7 @@ JobResult FactorService::run_job(Job& job, std::size_t worker_id) {
   PatternCache::EntryPtr entry;
   if (opt_.cache_enabled) {
     TRACE_SPAN("service.cache_lookup");
+    PhaseTimer timer(report.cache_lookup_us);
     entry = cache_.lookup(job.a);
     trace::MetricsRegistry::global()
         .counter(entry ? "service.cache_hits" : "service.cache_misses")
@@ -224,6 +302,8 @@ JobResult FactorService::run_job(Job& job, std::size_t worker_id) {
     // Warm path: numeric-only replay through the cached plan. The entry
     // mutex keeps each plan single-flight — refactorize() mutates the
     // cached skeleton in place.
+    report.cache_hit = true;
+    PhaseTimer timer(report.replay_us);
     std::lock_guard<std::mutex> entry_lock(entry->mutex);
     TRACE_SPAN("service.replay", entry->engine->device(),
                {{"n", job.a.n}, {"hits", entry->hits}});
@@ -243,6 +323,7 @@ JobResult FactorService::run_job(Job& job, std::size_t worker_id) {
     r.launches = launches_of(rep.device);
     r.sim_us = rep.total_sim_us();
     r.factors = entry->engine->factors();
+    report.device = rep.device;
     if (rep.fell_back) {
       cache_.refresh_footprint(*entry);
       trace::MetricsRegistry::global().counter("service.demotions").add(1);
@@ -250,23 +331,27 @@ JobResult FactorService::run_job(Job& job, std::size_t worker_id) {
       ++stats_.demotions;
     }
   } else {
-    r = run_cold(job, worker_id);
+    r = run_cold(job, worker_id, report);
   }
 
   if (job.rhs.has_value()) {
     TRACE_SPAN("service.solve", {{"n", job.a.n}});
+    PhaseTimer timer(report.solve_us);
     r.x = SparseLU::solve(r.factors, *job.rhs);
   }
-  trace::MetricsRegistry::global()
-      .histogram("service.job_sim_us")
-      .record(r.sim_us);
-  trace::MetricsRegistry::global()
-      .histogram("service.job_launches")
-      .record(static_cast<double>(r.launches));
+  report.replayed = r.replayed;
+  report.demoted = r.demoted;
+  report.launches = r.launches;
+  report.sim_us = r.sim_us;
+  report.symbolic_replans = r.factors.symbolic_replans;
+  report.pivot_perturbations = r.factors.pivot_perturbations;
+  report.recovery_retries = r.factors.recovery_retries;
   return r;
 }
 
-JobResult FactorService::run_cold(Job& job, std::size_t worker_id) {
+JobResult FactorService::run_cold(Job& job, std::size_t worker_id,
+                                  telemetry::JobReport& report) {
+  PhaseTimer timer(report.build_us);
   JobResult r;
   r.job_id = job.id;
   r.tenant = job.tenant;
@@ -326,8 +411,47 @@ JobResult FactorService::run_cold(Job& job, std::size_t worker_id) {
   r.launches = launches_of(engine->factors().device_stats);
   r.sim_us = engine->factors().total_sim_us();
   r.factors = engine->factors();
+  report.device = engine->factors().device_stats;
   if (opt_.cache_enabled) cache_.insert(job.a, std::move(engine));
   return r;
+}
+
+void FactorService::finalize_report(telemetry::JobReport& report) {
+  const double wall_total =
+      trace::Tracer::instance().now_us() - report.submitted_at_us;
+  const double measured = report.queue_wait_us + report.cache_lookup_us +
+                          report.build_us + report.replay_us +
+                          report.solve_us;
+  report.other_us = std::max(0.0, wall_total - measured);
+  // total_us is the exact sum of the six phase fields — the tiling
+  // invariant the phase histograms inherit (tests sum them back up).
+  report.total_us = report.queue_wait_us + report.cache_lookup_us +
+                    report.build_us + report.replay_us + report.solve_us +
+                    report.other_us;
+
+  auto& reg = trace::MetricsRegistry::global();
+  const auto record = [&](const char* base, double v) {
+    reg.histogram(base).record(v);
+    reg.histogram(trace::labeled(base, "tenant", report.tenant)).record(v);
+  };
+  // Phases record only when they ran, so each histogram's count is the
+  // number of jobs that took that path; zero-valued skipped phases would
+  // not change the sums the tiling test checks, only pollute the counts.
+  record("service.queue_wait_us", report.queue_wait_us);
+  if (opt_.cache_enabled) {
+    record("service.cache_lookup_us", report.cache_lookup_us);
+  }
+  if (!report.cache_hit && report.build_us > 0) {
+    record("service.cold_build_us", report.build_us);
+  }
+  if (report.cache_hit) record("service.warm_replay_us", report.replay_us);
+  if (report.solve_us > 0) record("service.solve_us", report.solve_us);
+  record("service.job_other_us", report.other_us);
+  record("service.job_us", report.total_us);
+  record("service.job_sim_us", report.sim_us);
+  record("service.job_launches", static_cast<double>(report.launches));
+
+  slo_.observe(report);
 }
 
 // Accounting precedes promise resolution in both paths, so a client that

@@ -57,6 +57,10 @@
 #include "service/pattern_cache.hpp"
 #include "support/bounded_queue.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/job_report.hpp"
+#include "telemetry/slo.hpp"
 
 namespace e2elu::service {
 
@@ -96,6 +100,14 @@ struct FactorServiceOptions {
   /// a known queue state, then resume(); production can use it for
   /// maintenance windows.
   bool start_paused = false;
+  /// Per-tenant SLO accounting (latency objective + target fraction).
+  telemetry::SloOptions slo;
+  /// Outlier flight recorder (ring size, latency trigger, incident dir).
+  telemetry::FlightRecorderOptions recorder;
+  /// Periodic dashboard frames to stderr (0 disables). The
+  /// E2ELU_DASHBOARD environment variable, when set, overrides both.
+  double dashboard_interval_s = 0;
+  bool dashboard_json = false;
 };
 
 struct JobResult {
@@ -116,6 +128,9 @@ struct JobResult {
   FactorResult factors;
   /// Solution of A x = rhs when a right-hand side was submitted.
   std::optional<std::vector<value_t>> x;
+  /// Full telemetry record of this job: queue wait, phase wall timings,
+  /// device-stat delta, recovery counters (see telemetry/job_report.hpp).
+  telemetry::JobReport report;
 };
 
 struct TenantStats {
@@ -174,6 +189,8 @@ class FactorService {
   FactorServiceStats stats() const;
   TenantStats tenant_stats(const std::string& tenant) const;
   const PatternCache& cache() const { return cache_; }
+  const telemetry::SloTracker& slo() const { return slo_; }
+  const telemetry::FlightRecorder& recorder() const { return recorder_; }
 
  private:
   struct Job {
@@ -183,6 +200,7 @@ class FactorService {
     Csr a;
     std::optional<std::vector<value_t>> rhs;
     std::promise<JobResult> promise;
+    double submitted_us = 0;  ///< admission time (tracer-epoch clock)
   };
   struct TenantState {
     std::size_t quota = 0;
@@ -191,13 +209,21 @@ class FactorService {
   };
 
   void worker_loop(std::size_t worker_id);
-  JobResult run_job(Job& job, std::size_t worker_id);
-  JobResult run_cold(Job& job, std::size_t worker_id);
+  JobResult run_job(Job& job, std::size_t worker_id,
+                    telemetry::JobReport& report);
+  JobResult run_cold(Job& job, std::size_t worker_id,
+                     telemetry::JobReport& report);
   void finish_job(Job& job, JobResult result);
   void fail_job(Job& job, std::exception_ptr error);
   void retire_job(const std::string& tenant, bool failed, bool replayed);
+  /// Closes the report (tiling other_us/total_us), publishes the phase
+  /// histograms + per-tenant labels, and runs SLO accounting.
+  void finalize_report(telemetry::JobReport& report);
 
   FactorServiceOptions opt_;
+  telemetry::SloTracker slo_;
+  telemetry::FlightRecorder recorder_;
+  std::unique_ptr<telemetry::DashboardExporter> dashboard_;
   PatternCache cache_;
   BoundedQueue<Job> queue_;
 

@@ -36,6 +36,7 @@ std::future<std::vector<value_t>> SolverService::submit(
                                       << n_);
   Request req;
   req.b = std::move(b);
+  req.submitted_us = trace::Tracer::instance().now_us();
   std::future<std::vector<value_t>> future = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -89,6 +90,14 @@ SolverServiceStats SolverService::stats() const {
 void SolverService::run_batch(std::vector<Request> batch) {
   const index_t num_rhs = static_cast<index_t>(batch.size());
   const std::size_t n = n_;
+  // Same histograms as the FactorService phases: queue wait per request
+  // (micro-batching linger shows up here), solve wall per batch.
+  const double popped_us = trace::Tracer::instance().now_us();
+  auto& wait_hist =
+      trace::MetricsRegistry::global().histogram("solver_service.queue_wait_us");
+  for (const Request& req : batch) {
+    wait_hist.record(popped_us - req.submitted_us);
+  }
   std::vector<value_t> block(n * batch.size());
   for (std::size_t r = 0; r < batch.size(); ++r) {
     std::copy(batch[r].b.begin(), batch[r].b.end(), block.begin() + r * n);
@@ -134,6 +143,8 @@ void SolverService::run_batch(std::vector<Request> batch) {
   const std::uint64_t saved =
       (static_cast<std::uint64_t>(num_rhs) - 1) * batched_.launches_per_batch();
   auto& registry = trace::MetricsRegistry::global();
+  registry.histogram("solver_service.batch_solve_us")
+      .record(trace::Tracer::instance().now_us() - popped_us);
   registry.histogram("solver_service.batch_size")
       .record(static_cast<double>(num_rhs));
   registry.counter("solver_service.launches_saved").add(saved);

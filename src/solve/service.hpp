@@ -52,7 +52,9 @@ struct SolverServiceOptions {
 };
 
 /// Aggregate service counters (also published to MetricsRegistry under
-/// solver_service.*).
+/// solver_service.*, alongside the latency histograms
+/// solver_service.queue_wait_us — submit to batch pop, per request — and
+/// solver_service.batch_solve_us — wall time of one batched level sweep).
 struct SolverServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
@@ -108,6 +110,7 @@ class SolverService {
   struct Request {
     std::vector<value_t> b;
     std::promise<std::vector<value_t>> promise;
+    double submitted_us = 0;  ///< admission time (tracer-epoch clock)
   };
 
   void drainer_loop();

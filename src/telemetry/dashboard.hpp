@@ -1,0 +1,86 @@
+// The service dashboard: one rendering path from the MetricsRegistry to
+// an operator's eyes.
+//
+// Everything the dashboard shows is derived from registry snapshots —
+// it holds no state of its own, so anything that records metrics
+// (FactorService, SolverService, benches, examples) gets the same frame
+// for free, and a frame can be rendered at any moment without quiescing
+// the service. Tenants are discovered by scanning labeled histogram
+// names ("service.job_us{tenant=...}"), so a new tenant appears in the
+// next frame with no registration step.
+//
+// Two renderings of the same data:
+//   render_dashboard(os, reg, /*json=*/false)  aligned text table
+//   render_dashboard(os, reg, /*json=*/true)   one JSON object per frame
+//                                              (log-shipper friendly)
+//
+// DashboardExporter runs render on a background thread at a fixed
+// interval, plus one final frame at stop so short runs still produce
+// output. Enable programmatically or with
+//   E2ELU_DASHBOARD=<seconds>[:json]
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "trace/metrics.hpp"
+
+namespace e2elu::telemetry {
+
+/// Renders one dashboard frame from `reg` snapshots. Text mode is an
+/// aligned per-tenant table (latency percentiles, SLO state) followed by
+/// service-wide lines (queue wait, cache, incidents); JSON mode is one
+/// self-contained object with the same fields.
+void render_dashboard(std::ostream& os, const trace::MetricsRegistry& reg,
+                      bool json = false);
+
+struct DashboardOptions {
+  double interval_s = 0;  ///< 0 disables the background thread
+  bool json = false;
+  std::ostream* out = nullptr;  ///< nullptr: std::cerr
+};
+
+/// Parses "E2ELU_DASHBOARD=<seconds>[:json]" into options (interval 0
+/// when the variable is unset/empty/invalid).
+DashboardOptions dashboard_options_from_env();
+
+/// Background exporter: renders a frame every interval_s seconds, and one
+/// final frame at stop()/destruction (so a run shorter than the interval
+/// still reports). Inert when interval_s <= 0.
+class DashboardExporter {
+ public:
+  explicit DashboardExporter(DashboardOptions opts,
+                             const trace::MetricsRegistry& reg =
+                                 trace::MetricsRegistry::global());
+  ~DashboardExporter();
+
+  DashboardExporter(const DashboardExporter&) = delete;
+  DashboardExporter& operator=(const DashboardExporter&) = delete;
+
+  /// Stops the thread and renders the final frame. Idempotent.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  std::uint64_t frames() const {
+    return frames_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void render_frame();
+
+  DashboardOptions opts_;
+  const trace::MetricsRegistry& reg_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool final_rendered_ = false;
+  std::atomic<std::uint64_t> frames_{0};
+  std::thread thread_;
+};
+
+}  // namespace e2elu::telemetry

@@ -1,0 +1,100 @@
+// Outlier flight recorder: keep the recent past, dump it when a job goes
+// wrong.
+//
+// Histograms say *that* p99 moved; they cannot say *why job 4172* was the
+// one that moved it. The flight recorder closes that gap: a lock-light
+// ring of the most recent JobReports, and — when a job fails or its
+// end-to-end latency blows past k x the running p99 — a self-contained
+// JSON incident file holding everything needed to study that job offline:
+//
+//   - the triggering JobReport (phase timings, device-stat delta,
+//     structure hash, recovery counters),
+//   - the job's span subtree, captured from the worker's own trace ring
+//     (trace::Tracer::collect_current_thread — no cross-thread races),
+//   - the armed fault plan and its triggered events, if injection is on,
+//   - the ring of recent reports for before/after context.
+//
+// The latency trigger self-calibrates: an internal histogram of observed
+// totals supplies the running p99, and no outlier fires until min_samples
+// jobs have been seen (a cold cache makes the first jobs legitimately
+// 100x slower than steady state; flagging those would make every service
+// start an incident storm). Failures always trigger.
+//
+// Cost discipline: observe() on the clean path is one mutex-guarded ring
+// write plus one histogram record — no I/O. File writing happens only on
+// a trigger, capped at max_incidents per recorder so a pathological
+// workload cannot fill a disk.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/job_report.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace e2elu::telemetry {
+
+struct FlightRecorderOptions {
+  /// Recent JobReports kept for incident context.
+  std::size_t ring = 64;
+
+  /// Latency trigger: total_us > outlier_factor * running p99.
+  double outlier_factor = 8.0;
+
+  /// Jobs observed before the latency trigger arms (failure triggering is
+  /// always on).
+  std::uint64_t min_samples = 32;
+
+  /// Directory for incident files ("" disables dumping; detection and the
+  /// incidents counter still run). Created if missing.
+  std::string dir;
+
+  /// Hard cap on incident files written by this recorder.
+  std::size_t max_incidents = 8;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions opts = {});
+
+  /// Accounts one finished job. `spans` is the job's span subtree (pass
+  /// {} when tracing is off). On a trigger, bumps
+  /// service.incidents / service.incidents.<reason> and — when a dump
+  /// directory is configured and the cap allows — writes
+  /// incident_<job_id>.json there and returns its path.
+  std::optional<std::string> observe(
+      const JobReport& report,
+      const std::vector<trace::SpanRecord>& spans = {});
+
+  /// Most recent reports, oldest first.
+  std::vector<JobReport> recent() const;
+
+  /// Incidents detected (triggers, whether or not a file was written).
+  std::uint64_t incidents() const;
+
+  /// Running p99 of observed job totals (0 until data arrives).
+  double running_p99_us() const;
+
+  const FlightRecorderOptions& options() const { return opts_; }
+
+ private:
+  std::string write_incident(const JobReport& report,
+                             const std::vector<trace::SpanRecord>& spans,
+                             const std::vector<JobReport>& ring,
+                             const std::string& reason, double p99,
+                             double threshold);
+
+  FlightRecorderOptions opts_;
+  mutable std::mutex mutex_;
+  std::deque<JobReport> ring_;
+  trace::Histogram totals_;  ///< self-calibration for the latency trigger
+  std::uint64_t incidents_ = 0;
+  std::size_t dumped_ = 0;
+};
+
+}  // namespace e2elu::telemetry

@@ -1,0 +1,42 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+
+#include "trace/metrics.hpp"
+
+namespace e2elu::telemetry {
+
+bool SloTracker::observe(const JobReport& report) {
+  const bool late = opts_.latency_threshold_us > 0 &&
+                    report.total_us > opts_.latency_threshold_us;
+  const bool violated = report.failed || late;
+
+  TenantSlo state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantSlo& t = tenants_[report.tenant];
+    ++t.jobs;
+    if (violated) ++t.violations;
+    // Budget denominator: how many violations the objective tolerates over
+    // the jobs seen so far. Guarded below one so the very first jobs don't
+    // divide by ~0 and swing the gauge to +/-infinity.
+    const double allowed =
+        static_cast<double>(t.jobs) * (1.0 - opts_.target);
+    t.error_budget =
+        1.0 - static_cast<double>(t.violations) / std::max(allowed, 1.0);
+    state = t;
+  }
+
+  auto& reg = trace::MetricsRegistry::global();
+  const std::string prefix = "service.tenant." + report.tenant;
+  if (violated) reg.counter(prefix + ".slo_violations").add(1);
+  reg.gauge(prefix + ".error_budget").set(state.error_budget);
+  return violated;
+}
+
+std::map<std::string, SloTracker::TenantSlo> SloTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_;
+}
+
+}  // namespace e2elu::telemetry

@@ -1,0 +1,69 @@
+// Per-tenant SLO accounting over JobReports.
+//
+// The service promises each tenant "p(target) of your jobs complete,
+// correctly, within latency_threshold_us". This tracker turns that
+// promise into numbers an operator can alarm on: a violation counter and
+// an error-budget gauge per tenant, both published through the
+// MetricsRegistry so they ride the existing export paths (metrics JSON,
+// dashboard).
+//
+// A job violates the SLO when it fails, or when its end-to-end latency
+// exceeds the threshold. The error budget is the classic SRE fraction of
+// allowed violations remaining:
+//
+//   budget = 1 - violations / (jobs * (1 - target))
+//
+// 1.0 = untouched, 0 = exhausted, negative = burning past the objective.
+// With target = 0.99, one violation in the first hundred jobs spends the
+// whole budget — small-sample twitchiness is intentional; the gauge is a
+// burn-rate signal, not a monthly report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "telemetry/job_report.hpp"
+
+namespace e2elu::telemetry {
+
+struct SloOptions {
+  /// End-to-end (admission -> completion) latency objective in wall
+  /// microseconds. 0 disables latency accounting — only failures count as
+  /// violations then.
+  double latency_threshold_us = 0;
+
+  /// Fraction of jobs that must meet the objective (0.99 = "three nines
+  /// short one"). Must be in (0, 1).
+  double target = 0.99;
+};
+
+/// Aggregates JobReports into per-tenant SLO state. Thread-safe: workers
+/// call observe() concurrently.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions opts = {}) : opts_(opts) {}
+
+  /// Accounts one finished job. Publishes, per tenant:
+  ///   service.tenant.<t>.slo_violations   (counter)
+  ///   service.tenant.<t>.error_budget     (gauge, see formula above)
+  /// Returns true when the job violated the SLO.
+  bool observe(const JobReport& report);
+
+  struct TenantSlo {
+    std::uint64_t jobs = 0;
+    std::uint64_t violations = 0;
+    double error_budget = 1.0;
+  };
+  std::map<std::string, TenantSlo> snapshot() const;
+
+  const SloOptions& options() const { return opts_; }
+
+ private:
+  SloOptions opts_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantSlo> tenants_;
+};
+
+}  // namespace e2elu::telemetry

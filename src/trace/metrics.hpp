@@ -3,6 +3,14 @@
 // artifact-write time (span.<name>.count / .wall_us / .sim_us / device
 // counters), and applications can register their own series alongside —
 // one file then carries both pipeline-phase and application metrics.
+//
+// Histograms are log-bucketed (kSubBuckets buckets per octave, ~9%
+// relative resolution) and answer quantile queries: the telemetry layer
+// records queue wait, build, replay, solve, and end-to-end job latency
+// into them and reads p50/p90/p99 back for SLO accounting and the
+// dashboard. Per-tenant series use the "base{key=value}" name convention
+// (labeled()/parse_label()), so one registry carries every tenant's
+// distributions and the dashboard can enumerate them.
 #pragma once
 
 #include <atomic>
@@ -11,6 +19,8 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace e2elu::trace {
 
@@ -34,32 +44,72 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
-/// Power-of-two-bucketed histogram over non-negative values, plus exact
-/// count/sum/min/max. Bucket b counts records with value <= 2^b (the last
-/// bucket absorbs the tail), which is plenty of resolution for the
-/// latency/size distributions it is used for.
+/// A consistent point-in-time copy of one histogram, safe to read and
+/// aggregate while other threads keep recording. Quantiles are answered
+/// from the bucket counts: the result is the upper bound of the bucket
+/// containing the requested rank (clamped to the observed [min, max]), so
+/// a distribution whose values sit exactly on bucket bounds — what the
+/// exactness tests record — reads back exact percentiles, and anything
+/// else is within one bucket's ~9% relative width.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0, min = 0, max = 0;
+  std::vector<std::uint64_t> buckets;  ///< dense, Histogram::kBuckets wide
+
+  double mean() const { return count == 0 ? 0 : sum / count; }
+  /// Value at quantile q in [0, 1] (0.5 = median). 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Log-bucketed histogram over non-negative values, plus exact
+/// count/sum/min/max. Bucket b counts records with
+/// bucket_upper(b-1) < value <= bucket_upper(b) where
+/// bucket_upper(b) = 2^(b/kSubBuckets); bucket 0 additionally absorbs
+/// values <= 1 and the last bucket absorbs the tail (~13 days in us).
 class Histogram {
  public:
-  static constexpr int kBuckets = 48;
+  static constexpr int kSubBuckets = 8;  ///< buckets per octave, 2^(1/8) growth
+  static constexpr int kBuckets = 40 * kSubBuckets + 1;
 
   void record(double v);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0 : min_; }
-  double max() const { return count_ == 0 ? 0 : max_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
-  std::uint64_t bucket(int b) const { return buckets_[b]; }
-  /// Upper bound of bucket b (2^b).
-  static double bucket_upper(int b) { return static_cast<double>(1ull << b); }
+  HistogramSnapshot snapshot() const;
+
+  std::uint64_t count() const { return snapshot().count; }
+  double sum() const { return snapshot().sum; }
+  double min() const { return snapshot().min; }
+  double max() const { return snapshot().max; }
+  double mean() const { return snapshot().mean(); }
+  double quantile(double q) const { return snapshot().quantile(q); }
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
+  /// Upper bound of bucket b: 2^(b / kSubBuckets).
+  static double bucket_upper(int b);
+  /// The bucket a value records into (test-enforced: the smallest b with
+  /// value <= bucket_upper(b), robust to libm rounding).
+  static int bucket_for(double v);
 
  private:
-  friend class MetricsRegistry;
   mutable std::mutex mutex_;
   std::uint64_t count_ = 0;
   double sum_ = 0, min_ = 0, max_ = 0;
   std::uint64_t buckets_[kBuckets] = {};
 };
+
+/// The "base{key=value}" labeled-series name convention, e.g.
+/// labeled("service.job_us", "tenant", "pwr-grid").
+std::string labeled(std::string_view base, std::string_view key,
+                    std::string_view value);
+
+/// Inverse of labeled(): splits "base{key=value}" into its parts. Returns
+/// false (outputs untouched) when `name` carries no label.
+bool parse_label(const std::string& name, std::string& base,
+                 std::string& key, std::string& value);
 
 class MetricsRegistry {
  public:
@@ -72,7 +122,15 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Consistent copies for renderers (the dashboard) and tests, safe
+  /// against concurrent recording.
+  std::map<std::string, std::uint64_t> counters_snapshot() const;
+  std::map<std::string, double> gauges_snapshot() const;
+  std::map<std::string, HistogramSnapshot> histograms_snapshot() const;
+
   /// Flat JSON: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Doubles are written with round-trip precision; histograms carry their
+  /// sparse [upper, count] bucket list plus derived mean/p50/p90/p99.
   void write_json(std::ostream& os) const;
 
   /// Resets every series to zero (for tests and repeated runs).

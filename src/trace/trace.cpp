@@ -149,6 +149,12 @@ std::vector<std::string> Tracer::write_artifacts() {
   }
   if (!config_.metrics_path.empty()) {
     publish_span_metrics(spans, MetricsRegistry::global());
+    // Overwritten ring slots are invisible in `spans`; the export must say
+    // so, or a wrapped recording silently masquerades as complete data.
+    const std::uint64_t lost = dropped();
+    if (lost > 0) {
+      MetricsRegistry::global().counter("trace.dropped_spans").add(lost);
+    }
     std::ofstream os(config_.metrics_path);
     if (os) {
       write_metrics_json(os, MetricsRegistry::global());
@@ -178,6 +184,20 @@ std::vector<SpanRecord> Tracer::collect() const {
             [](const SpanRecord& a, const SpanRecord& b) {
               return a.start_us < b.start_us;
             });
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::collect_current_thread(double since_us) {
+  std::vector<SpanRecord> out;
+  const Ring* ring = thread_state().ring;
+  const std::size_t size = ring->buf.size();
+  if (size == 0) return out;
+  const std::size_t first =
+      size < ring->capacity ? 0 : ring->pushed % ring->capacity;
+  for (std::size_t k = 0; k < size; ++k) {
+    const SpanRecord& r = ring->buf[(first + k) % size];
+    if (r.start_us >= since_us) out.push_back(r);
+  }
   return out;
 }
 

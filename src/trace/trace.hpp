@@ -138,6 +138,14 @@ class Tracer {
   /// destruction on other threads.
   std::vector<SpanRecord> collect() const;
 
+  /// Spans recorded by the CALLING thread whose start is at or after
+  /// `since_us` (tracer-epoch wall time), oldest first. Reads only this
+  /// thread's ring — which no other thread writes — so it is safe while
+  /// other threads keep recording; this is how a service worker captures
+  /// one job's span subtree for the flight recorder without quiescing the
+  /// whole tracer.
+  std::vector<SpanRecord> collect_current_thread(double since_us = 0.0);
+
   /// Discards recorded spans (ring buffers stay registered).
   void clear();
 
