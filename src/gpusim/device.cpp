@@ -123,6 +123,30 @@ void Device::copy_d2h(std::size_t bytes) {
   advance_serial(us);
 }
 
+void Device::copy_async(std::size_t bytes, Stream& stream, bool h2d) {
+  E2ELU_CHECK_MSG(&stream.device() == this,
+                  "async copy on a stream of a different device");
+  (h2d ? stats_.h2d_bytes : stats_.d2h_bytes) += bytes;
+  const double us = static_cast<double>(bytes) / (spec_.pcie_gbps * 1e3);
+  stats_.sim_transfer_us += us + spec_.prefetch_call_us;
+  // The enqueue serializes on the host thread; the transfer itself only
+  // waits for prior work on its stream — mirrors the async launch path.
+  host_issue_us_ =
+      std::max(host_issue_us_, serial_done_us_) + spec_.prefetch_call_us;
+  const double start = std::max(stream.ready_us_, host_issue_us_);
+  stream.ready_us_ = start + us;
+  stats_.sim_elapsed_us =
+      std::max({stats_.sim_elapsed_us, host_issue_us_, stream.ready_us_});
+}
+
+void Device::copy_h2d_async(std::size_t bytes, Stream& stream) {
+  copy_async(bytes, stream, /*h2d=*/true);
+}
+
+void Device::copy_d2h_async(std::size_t bytes, Stream& stream) {
+  copy_async(bytes, stream, /*h2d=*/false);
+}
+
 void Device::record_page_fault(bool starts_new_group) {
   ++stats_.page_faults;
   if (starts_new_group) {

@@ -187,6 +187,15 @@ class Device {
   void copy_h2d(std::size_t bytes);
   void copy_d2h(std::size_t bytes);
 
+  /// Asynchronous copies on a stream (cudaMemcpyAsync on pinned memory):
+  /// ordered after prior work on `stream` only, so the PCIe time overlaps
+  /// kernels running on other streams — the mechanism the out-of-core
+  /// factor window uses to hide prefetch under compute. The host pays the
+  /// enqueue cost (prefetch_call_us) on its issue cursor, exactly like an
+  /// async kernel launch pays its launch cost.
+  void copy_h2d_async(std::size_t bytes, Stream& stream);
+  void copy_d2h_async(std::size_t bytes, Stream& stream);
+
   /// Unified-memory bookkeeping hooks (used by UnifiedBuffer).
   /// A "group" is a run of faults on adjacent pages, which the driver
   /// services together — the unit Table 3 counts and the unit that costs
@@ -227,6 +236,9 @@ class Device {
   /// queued work, blocks everything behind it — the legacy-default-stream
   /// full-barrier semantics.
   void advance_serial(double cost_us);
+
+  /// Shared body of the async copy directions.
+  void copy_async(std::size_t bytes, Stream& stream, bool h2d);
 
   DeviceSpec spec_;
   DeviceStats stats_;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -86,6 +87,15 @@ Coo read_matrix_market(std::istream& in) {
   E2ELU_CHECK_MSG(rows == cols,
                   "matrix is " << rows << "x" << cols
                                << "; LU factorization needs square input");
+  E2ELU_CHECK_MSG(rows >= 0 && declared_nnz >= 0,
+                  "negative dimension or entry count in size line: " << line);
+  // An n x n matrix holds at most n^2 entries; a header advertising more
+  // is corrupt, and trusting it would over-reserve (or overflow) below.
+  E2ELU_CHECK_MSG(declared_nnz <= rows * cols,
+                  "size line declares " << declared_nnz << " entries but a "
+                                        << rows << "x" << cols
+                                        << " matrix holds at most "
+                                        << rows * cols);
 
   Coo coo;
   coo.n = static_cast<index_t>(rows);
@@ -95,6 +105,12 @@ Coo read_matrix_market(std::istream& in) {
   const std::size_t expansion = symmetry == "general" ? 1 : 2;
   coo.entries.reserve(static_cast<std::size_t>(declared_nnz) * expansion);
   const bool has_value = field != "pattern";
+  // File-level (i,j) pairs, pre-expansion: the coordinate format lists
+  // each entry once, so duplicates mean a corrupt file. They cannot be
+  // waved through to coo_to_csr — its duplicate summing exists for FE
+  // assembly, and silently summing a doubled file entry corrupts values.
+  std::vector<std::pair<index_t, index_t>> seen;
+  seen.reserve(static_cast<std::size_t>(declared_nnz));
   for (long k = 0; k < declared_nnz; ++k) {
     E2ELU_CHECK_MSG(next_entry_line(in, line),
                     "truncated entry list: got " << k << " of "
@@ -112,6 +128,7 @@ Coo read_matrix_market(std::istream& in) {
                     "entry (" << i << "," << j << ") out of range");
     const index_t r = static_cast<index_t>(i - 1);
     const index_t c = static_cast<index_t>(j - 1);
+    seen.emplace_back(r, c);
     coo.add(r, c, static_cast<value_t>(v));
     if (symmetry == "symmetric" && r != c) {
       coo.add(c, r, static_cast<value_t>(v));
@@ -119,6 +136,12 @@ Coo read_matrix_market(std::istream& in) {
       coo.add(c, r, static_cast<value_t>(-v));
     }
   }
+  std::sort(seen.begin(), seen.end());
+  const auto dup = std::adjacent_find(seen.begin(), seen.end());
+  E2ELU_CHECK_MSG(dup == seen.end(),
+                  "duplicate entry (" << dup->first + 1 << ","
+                                      << dup->second + 1
+                                      << ") in coordinate file");
   return coo;
 }
 

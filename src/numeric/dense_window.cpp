@@ -16,6 +16,7 @@
 
 #include "gpusim/device_buffer.hpp"
 #include "numeric/column_kernel.hpp"
+#include "numeric/factor_window.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
 #include "trace/metrics.hpp"
@@ -54,7 +55,7 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
                   "level plan does not match the schedule");
 
   std::optional<DeviceFactorMatrix> mirrors;
-  if (!opt.device_resident) mirrors.emplace(dev, m);
+  if (!opt.device_resident && !opt.window.enabled) mirrors.emplace(dev, m);
 
   const index_t window = max_parallel_dense_columns(dev.free_bytes(), n);
   E2ELU_CHECK_MSG(window >= 2,
@@ -357,7 +358,7 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
 
   detail::ReadyFlags flags;  // fused clusters only; allocated on demand
   const scheduling::ClusterSchedule& cs = plan->clusters;
-  for (index_t cl = 0; cl < cs.num_clusters(); ++cl) {
+  auto execute_cluster = [&](index_t cl) {
     const index_t lo = cs.first_level(cl);
     const index_t hi = cs.end_level(cl);
 
@@ -382,7 +383,7 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
       if (!fits) {
         for (index_t c2 : batch.slot_cols) slot_of[c2] = -1;
         for (index_t l = lo; l < hi; ++l) run_level(l);
-        continue;
+        return;
       }
 
       const index_t first_pos = s.level_ptr[lo];
@@ -428,10 +429,27 @@ NumericStats factorize_dense_window(gpusim::Device& dev, FactorMatrix& m,
       trace::MetricsRegistry::global()
           .counter("numeric.fused_levels")
           .add(static_cast<std::uint64_t>(hi - lo));
-      continue;
+      return;
     }
 
     run_level(lo);
+  };
+
+  if (opt.window.enabled) {
+    // Windowed dense mode models residency and transfer accounting only:
+    // the scatter/factor/gather kernels launch on the default stream (a
+    // full barrier in the sim), so the window's prefetches cannot overlap
+    // them — the stall counters reflect that. The sparse and replay
+    // executors are the paths where the overlap is real; this one exists
+    // so the dense format stays usable out-of-core.
+    detail::run_windowed(dev, m, s, *plan, opt.window, stats,
+                         [&](index_t cl, gpusim::Stream&) {
+                           execute_cluster(cl);
+                         });
+  } else {
+    for (index_t cl = 0; cl < cs.num_clusters(); ++cl) {
+      execute_cluster(cl);
+    }
   }
 
   stats.ops = dev.stats().kernel_ops - ops_before;

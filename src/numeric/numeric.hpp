@@ -160,11 +160,36 @@ struct DeviceFactorMatrix {
   void upload_values(const FactorMatrix& m);
 };
 
+/// Out-of-core numeric execution: a scrolling window of level-clusters
+/// resident on the device, everything else spilled to host. The fusion
+/// clusterer is the windowing granularity (a fused launch never spans a
+/// window boundary); finished columns' L/U storage is written back as
+/// their cluster retires, and upcoming window groups prefetch on an async
+/// stream so the PCIe time hides under compute. Off by default — the
+/// fully-resident path is the bit-exactness oracle, and the windowed
+/// executors run the identical kernels in the identical order, so factors
+/// are memcmp-identical on a serial pool.
+struct WindowOptions {
+  bool enabled = false;
+  /// Device bytes the scrolling window may occupy (the ring arena). 0
+  /// sizes it to the device's free bytes at executor entry — windowed
+  /// execution then degenerates to one all-resident group.
+  std::size_t budget_bytes = 0;
+  /// Window groups fetched ahead of the executing one (the ring holds
+  /// 1 + prefetch_ahead groups, so each group's capacity is
+  /// budget_bytes / (1 + prefetch_ahead)).
+  int prefetch_ahead = 1;
+};
+
 struct NumericOptions {
   /// The FactorMatrix arrays are already device-resident (a caller such as
   /// refactor::Refactorizer holds a DeviceFactorMatrix across calls), so
   /// the executor must not allocate/upload its own mirrors.
   bool device_resident = false;
+  /// Scrolling-window out-of-core execution (see WindowOptions). When
+  /// enabled, the executors keep no full-size device mirrors: only the
+  /// window arena is charged against device memory.
+  WindowOptions window;
   /// Level fusion (see scheduling/fusion.hpp). Consulted only when the
   /// caller passes no LevelPlan — a cached plan's clustering is
   /// authoritative. Off by default: the per-level path is the
@@ -184,6 +209,14 @@ struct NumericStats {
   index_t num_batches = 0;     ///< dense mode: scatter/factor/gather rounds
   index_t fused_levels = 0;    ///< levels executed inside fused launches
   index_t fused_clusters = 0;  ///< fused launches actually taken
+
+  // Scrolling-window accounting (all zero when the window is off).
+  std::uint64_t window_groups = 0;      ///< window groups executed
+  std::uint64_t window_evictions = 0;   ///< column spills written back to host
+  std::uint64_t window_prefetches = 0;  ///< group fetches issued ahead
+  std::uint64_t window_refetches = 0;   ///< columns fetched again after a spill
+  std::uint64_t window_fetch_bytes = 0; ///< h2d bytes moved by the window
+  double window_stall_us = 0;           ///< compute blocked on an unfinished fetch
 };
 
 /// Sequential host execution of Algorithm 2 over the level schedule —
@@ -218,7 +251,8 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& device, FactorMatrix& m,
 NumericStats factorize_replay(gpusim::Device& device, FactorMatrix& m,
                               const scheduling::LevelSchedule& s,
                               const LevelPlan& plan, const ReplayPlan& replay,
-                              DeviceReplayPlan& storage);
+                              DeviceReplayPlan& storage,
+                              const NumericOptions& opt = {});
 
 /// M = L_free / (n * sizeof(value_t)): the dense-format concurrency cap
 /// (Table 4's "max #blocks" column).

@@ -17,6 +17,7 @@
 #include <limits>
 
 #include "numeric/column_kernel.hpp"
+#include "numeric/factor_window.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
 #include "trace/metrics.hpp"
@@ -107,7 +108,8 @@ DeviceReplayPlan::DeviceReplayPlan(gpusim::Device& device,
 NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
                               const scheduling::LevelSchedule& s,
                               const LevelPlan& plan, const ReplayPlan& replay,
-                              DeviceReplayPlan& storage) {
+                              DeviceReplayPlan& storage,
+                              const NumericOptions& opt) {
   WallTimer timer;
   NumericStats stats;
   const std::uint64_t ops_before = dev.stats().kernel_ops;
@@ -143,7 +145,10 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
 
   detail::ReadyFlags flags;  // fused clusters only; allocated on demand
   const scheduling::ClusterSchedule& cs = plan.clusters;
-  for (index_t cl = 0; cl < cs.num_clusters(); ++cl) {
+  // The whole per-cluster body, parameterized on the stream its launches
+  // go to: null for the classic serial path, the window's compute stream
+  // in out-of-core mode (where the prefetch stream overlaps it).
+  auto execute_cluster = [&](index_t cl, gpusim::Stream* wstream) {
     const index_t lo = cs.first_level(cl);
     const index_t hi = cs.end_level(cl);
 
@@ -173,7 +178,8 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
            .blocks = width,
            .threads_per_block = 256,
            .warp_efficiency = detail::cluster_warp_eff(plan, s, lo, hi),
-           .fused_levels = static_cast<int>(hi - lo)},
+           .fused_levels = static_cast<int>(hi - lo),
+           .stream = wstream},
           [&](std::int64_t b, gpusim::KernelContext& ctx) {
             const index_t p = first_pos + static_cast<index_t>(b);
             const index_t j = s.level_cols[p];
@@ -209,7 +215,7 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
       trace::MetricsRegistry::global()
           .counter("numeric.fused_levels")
           .add(static_cast<std::uint64_t>(hi - lo));
-      continue;
+      return;
     }
 
     const index_t l = lo;
@@ -223,7 +229,8 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
     dev.launch({.name = "replay_div",
                 .blocks = s.level_width(l),
                 .threads_per_block = 256,
-                .warp_efficiency = warp_eff},
+                .warp_efficiency = warp_eff,
+                .stream = wstream},
                [&](std::int64_t b, gpusim::KernelContext& ctx) {
                  const index_t j =
                      s.level_cols[s.level_ptr[l] + static_cast<index_t>(b)];
@@ -240,7 +247,7 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
 
     const offset_t sub_begin = replay.level_ptr[l];
     const offset_t sub_end = replay.level_ptr[l + 1];
-    if (sub_begin == sub_end) continue;
+    if (sub_begin == sub_end) return;
     if (unified) {
       // Prefetch this level's task slice ahead of the kernel — the
       // paper's own answer to managed-memory fault storms (Figure 5).
@@ -252,12 +259,24 @@ NumericStats factorize_replay(gpusim::Device& dev, FactorMatrix& m,
         {.name = "replay_update",
          .blocks = sub_end - sub_begin,
          .threads_per_block = 256,
-         .warp_efficiency = warp_eff},
+         .warp_efficiency = warp_eff,
+         .stream = wstream},
         [&](std::int64_t b, gpusim::KernelContext& ctx) {
           std::uint64_t ops = 0;
           apply_sub_column(static_cast<std::size_t>(sub_begin + b), ops);
           ctx.add_ops(ops);
         });
+  };
+
+  if (opt.window.enabled) {
+    detail::run_windowed(dev, m, s, plan, opt.window, stats,
+                         [&](index_t cl, gpusim::Stream& st) {
+                           execute_cluster(cl, &st);
+                         });
+  } else {
+    for (index_t cl = 0; cl < cs.num_clusters(); ++cl) {
+      execute_cluster(cl, nullptr);
+    }
   }
 
   stats.ops = dev.stats().kernel_ops - ops_before;

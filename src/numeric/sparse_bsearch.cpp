@@ -8,6 +8,7 @@
 
 #include "gpusim/device_buffer.hpp"
 #include "numeric/column_kernel.hpp"
+#include "numeric/factor_window.hpp"
 #include "numeric/numeric.hpp"
 #include "support/timer.hpp"
 #include "trace/metrics.hpp"
@@ -52,7 +53,7 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
   // already holds the arrays resident (the refactorization path) skips
   // the per-call allocation and upload.
   std::optional<DeviceFactorMatrix> mirrors;
-  if (!opt.device_resident) mirrors.emplace(dev, m);
+  if (!opt.device_resident && !opt.window.enabled) mirrors.emplace(dev, m);
 
   // Streams the per-column type-C launches rotate over (async execution:
   // independent columns of one level overlap in the sim clock).
@@ -63,7 +64,11 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
   detail::ReadyFlags flags;  // fused clusters only; allocated on demand
 
   const scheduling::ClusterSchedule& cs = plan->clusters;
-  for (index_t c = 0; c < cs.num_clusters(); ++c) {
+  // The whole per-cluster body, parameterized on the stream its launches
+  // go to: null for the classic serial path (type-C columns then rotate
+  // over the async streams), the window's compute stream in out-of-core
+  // mode (all launches on one stream so the prefetch stream overlaps it).
+  auto execute_cluster = [&](index_t c, gpusim::Stream* wstream) {
     const index_t lo = cs.first_level(c);
     const index_t hi = cs.end_level(c);
 
@@ -84,7 +89,8 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
            .blocks = width,
            .threads_per_block = 256,
            .warp_efficiency = detail::cluster_warp_eff(*plan, s, lo, hi),
-           .fused_levels = static_cast<int>(hi - lo)},
+           .fused_levels = static_cast<int>(hi - lo),
+           .stream = wstream},
           [&](std::int64_t b, gpusim::KernelContext& ctx) {
             const index_t j = s.level_cols[first_pos + static_cast<index_t>(b)];
             std::uint64_t ops = detail::wait_cluster_predecessors(
@@ -110,7 +116,7 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
       trace::MetricsRegistry::global()
           .counter("numeric.fused_levels")
           .add(static_cast<std::uint64_t>(hi - lo));
-      continue;
+      return;
     }
 
     const index_t l = lo;
@@ -132,11 +138,13 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
         // streams (div and update of the same column stay in order on
         // theirs). The level boundary below is the only join point.
         gpusim::Stream* stream =
-            streams.empty()
-                ? nullptr
-                : streams[static_cast<std::size_t>(k - s.level_ptr[l]) %
-                          streams.size()]
-                      .get();
+            wstream != nullptr
+                ? wstream
+                : (streams.empty()
+                       ? nullptr
+                       : streams[static_cast<std::size_t>(k - s.level_ptr[l]) %
+                                 streams.size()]
+                             .get());
         dev.launch({.name = "numeric_div_C",
                     .blocks = 1,
                     .threads_per_block = 256,
@@ -159,7 +167,7 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
              rp < m.pattern.row_ptr[j + 1]; ++rp) {
           if (m.pattern.col_idx[rp] > j) sub_positions.push_back(rp);
         }
-        if (sub_positions.empty()) continue;
+        if (sub_positions.empty()) continue;  // next column of the level
         dev.launch(
             {.name = "numeric_update_C",
              .blocks = static_cast<std::int64_t>(sub_positions.size()),
@@ -187,7 +195,9 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
             });
       }
       // Join the streams before the next level reads this one's results.
-      if (!streams.empty()) dev.synchronize();
+      // The windowed path needs no join: every launch is on the one
+      // compute stream, already ordered.
+      if (wstream == nullptr && !streams.empty()) dev.synchronize();
     } else {
       // Type A/B: one launch for the whole level, block per column. Full
       // occupancy whenever the level is wide — no M cap in this format.
@@ -198,12 +208,24 @@ NumericStats factorize_sparse_bsearch(gpusim::Device& dev, FactorMatrix& m,
                   .blocks = width,
                   .threads_per_block =
                       type == scheduling::LevelType::A ? 256 : 1024,
-                  .warp_efficiency = warp_eff},
+                  .warp_efficiency = warp_eff,
+                  .stream = wstream},
                  [&](std::int64_t b, gpusim::KernelContext& ctx) {
                    const index_t j =
                        s.level_cols[s.level_ptr[l] + static_cast<index_t>(b)];
                    ctx.add_ops(detail::process_column_sparse(m, j));
                  });
+    }
+  };
+
+  if (opt.window.enabled) {
+    detail::run_windowed(dev, m, s, *plan, opt.window, stats,
+                         [&](index_t c, gpusim::Stream& st) {
+                           execute_cluster(c, &st);
+                         });
+  } else {
+    for (index_t c = 0; c < cs.num_clusters(); ++c) {
+      execute_cluster(c, nullptr);
     }
   }
 

@@ -63,10 +63,16 @@ void Refactorizer::rebuild(const Csr& a) {
   replay_ = numeric::build_replay_plan(skeleton_, artifacts_.schedule);
 
   // Refresh the device-resident structure: release the previous
-  // generation's allocations before charging the new uploads.
+  // generation's allocations before charging the new uploads. In windowed
+  // (out-of-core) mode the factor arrays never live on the device whole —
+  // the numeric phase streams them through the factor window — so only
+  // the replay arrays are kept resident: the cache can then hold plans
+  // whose factors would never fit.
   device_matrix_.reset();
   device_replay_.reset();
-  device_matrix_.emplace(device_, skeleton_);
+  if (!options_.numeric.window.enabled) {
+    device_matrix_.emplace(device_, skeleton_);
+  }
   if (!replay_.empty()) {
     try {
       device_replay_.emplace(device_, replay_);
@@ -162,7 +168,9 @@ RefactorReport Refactorizer::refactorize(const Csr& a_new) {
         if (d == value_t{0}) d = *options_.diag_patch;
       }
     }
-    device_matrix_->upload_values(skeleton_);
+    // Windowed mode keeps no resident values array: the numeric phase
+    // streams values in group by group and charges the transfers there.
+    if (device_matrix_.has_value()) device_matrix_->upload_values(skeleton_);
   }
   rep.scatter.ops = static_cast<std::uint64_t>(a_new.nnz());
   rep.scatter.wall_ms = t_scatter.millis();
@@ -186,7 +194,7 @@ RefactorReport Refactorizer::refactorize(const Csr& a_new) {
         device_replay_.has_value()
             ? numeric::factorize_replay(device_, skeleton_,
                                         artifacts_.schedule, plan_, replay_,
-                                        *device_replay_)
+                                        *device_replay_, nopt)
         : artifacts_.use_sparse_numeric
             ? numeric::factorize_sparse_bsearch(device_, skeleton_,
                                                 artifacts_.schedule, nopt,

@@ -80,4 +80,52 @@ void validate_clustering(const LevelSchedule& s, const ClusterSchedule& c,
   }
 }
 
+std::vector<index_t> build_window_groups(const ClusterSchedule& cs,
+                                         std::size_t capacity_bytes,
+                                         const ClusterBytesFn& cluster_bytes) {
+  E2ELU_CHECK_MSG(capacity_bytes > 0, "window capacity must be positive");
+  std::vector<index_t> group_ptr{0};
+  const index_t num = cs.num_clusters();
+  index_t c = 0;
+  while (c < num) {
+    index_t end = c;
+    std::size_t bytes = 0;
+    while (end < num) {
+      const std::size_t b = cluster_bytes(end);
+      if (end > c && bytes + b > capacity_bytes) break;
+      bytes += b;
+      ++end;
+      // An overweight first cluster travels alone (the executor
+      // serializes its transfer); never pack a neighbour behind it.
+      if (bytes > capacity_bytes) break;
+    }
+    group_ptr.push_back(end);
+    c = end;
+  }
+  validate_window_groups(cs, group_ptr, capacity_bytes, cluster_bytes);
+  return group_ptr;
+}
+
+void validate_window_groups(const ClusterSchedule& cs,
+                            const std::vector<index_t>& group_ptr,
+                            std::size_t capacity_bytes,
+                            const ClusterBytesFn& cluster_bytes) {
+  const index_t num = cs.num_clusters();
+  E2ELU_CHECK_MSG(!group_ptr.empty() && group_ptr.front() == 0 &&
+                      group_ptr.back() == num,
+                  "window groups do not cover [0, " << num << ")");
+  for (std::size_t g = 0; g + 1 < group_ptr.size(); ++g) {
+    E2ELU_CHECK_MSG(group_ptr[g] < group_ptr[g + 1], "empty window group "
+                                                         << g);
+    if (group_ptr[g + 1] - group_ptr[g] == 1) continue;  // may be overweight
+    std::size_t bytes = 0;
+    for (index_t c = group_ptr[g]; c < group_ptr[g + 1]; ++c) {
+      bytes += cluster_bytes(c);
+    }
+    E2ELU_CHECK_MSG(bytes <= capacity_bytes,
+                    "window group " << g << " exceeds capacity (" << bytes
+                                    << " of " << capacity_bytes << " bytes)");
+  }
+}
+
 }  // namespace e2elu::scheduling

@@ -13,6 +13,8 @@
 // numeric/column_kernel.hpp for the ready-flag protocol).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "gpusim/spec.hpp"
@@ -89,5 +91,29 @@ ClusterSchedule build_cluster_schedule(const LevelSchedule& s,
 void validate_clustering(const LevelSchedule& s, const ClusterSchedule& c,
                          const gpusim::DeviceSpec& spec,
                          const FusionOptions& opt);
+
+/// Per-cluster device footprint in bytes, supplied by the numeric layer
+/// (scheduling knows levels and clusters, not value storage).
+using ClusterBytesFn = std::function<std::size_t(index_t cluster)>;
+
+/// Groups consecutive clusters of `cs` into scrolling-window groups whose
+/// combined footprint stays within `capacity_bytes`. Clusters are atomic:
+/// a fused launch never spans a window boundary, so the fusion clusterer
+/// is the windowing granularity. A single cluster whose own footprint
+/// exceeds the capacity still gets a (solitary, overweight) group — the
+/// executor degrades to serialized transfer for it instead of failing.
+/// Returns group_ptr: size num_groups+1, indices into clusters, a
+/// partition of [0, cs.num_clusters()).
+std::vector<index_t> build_window_groups(const ClusterSchedule& cs,
+                                         std::size_t capacity_bytes,
+                                         const ClusterBytesFn& cluster_bytes);
+
+/// Oracle for build_window_groups: group_ptr partitions the clusters in
+/// order, no group is empty, and every multi-cluster group fits
+/// `capacity_bytes`. Throws on violation.
+void validate_window_groups(const ClusterSchedule& cs,
+                            const std::vector<index_t>& group_ptr,
+                            std::size_t capacity_bytes,
+                            const ClusterBytesFn& cluster_bytes);
 
 }  // namespace e2elu::scheduling

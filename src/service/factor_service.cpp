@@ -398,7 +398,22 @@ JobResult FactorService::run_cold(Job& job, std::size_t worker_id,
         throw;
       }
     }
-    if (opt_.cache_enabled) cache_.evict_lru();
+    if (opt_.cache_enabled) {
+      // Evict to the headroom the build actually needs, like the
+      // pre-build path: a cache full of many small entries would
+      // otherwise exhaust the retry budget one entry at a time. The ask
+      // is capped at the whole budget so a build whose estimate exceeds
+      // it (uncacheable-sized) still clears the most headroom the cache
+      // can offer; when the estimate already fits — the OOM came from
+      // elsewhere — one LRU entry still goes so each retry makes
+      // forward progress.
+      const std::size_t need =
+          std::min(PatternCache::estimate_footprint(job.a),
+                   cache_.memory_budget_bytes());
+      if (cache_.evict_for(need) == 0) {
+        cache_.evict_lru();
+      }
+    }
     trace::MetricsRegistry::global().counter("service.build_retries").add(1);
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -1,5 +1,6 @@
 #include "solve/triangular.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "matrix/convert.hpp"
@@ -55,6 +56,19 @@ TriangularSolver::TriangularSolver(gpusim::Device& device, const Csr& factor,
     diag_pos_[i] = factor.row_ptr[i] + (it - cols.begin());
   }
   warp_eff_ = device.spec().simt_efficiency(factor.nnz_per_row());
+
+  // Factor bytes each level's rows touch (values + column indices) — the
+  // chunking granularity of the streaming solve.
+  level_bytes_.assign(static_cast<std::size_t>(schedule_.num_levels()), 0);
+  for (index_t l = 0; l < schedule_.num_levels(); ++l) {
+    for (index_t k = schedule_.level_ptr[l]; k < schedule_.level_ptr[l + 1];
+         ++k) {
+      const index_t i = schedule_.level_cols[k];
+      const offset_t nnz = factor.row_ptr[i + 1] - factor.row_ptr[i];
+      level_bytes_[l] +=
+          static_cast<std::size_t>(nnz) * (sizeof(value_t) + sizeof(index_t));
+    }
+  }
 }
 
 void TriangularSolver::rebind(const Csr& factor) {
@@ -65,35 +79,110 @@ void TriangularSolver::rebind(const Csr& factor) {
   factor_ = &factor;
 }
 
+void TriangularSolver::launch_level(index_t l, std::vector<value_t>& x,
+                                    gpusim::Stream* stream) const {
+  const Csr& f = *factor_;
+  device_->launch(
+      {.name = lower_ ? "lower_solve_level" : "upper_solve_level",
+       .blocks = schedule_.level_width(l),
+       .threads_per_block = 128,
+       .warp_efficiency = warp_eff_,
+       .stream = stream},
+      [&](std::int64_t b, gpusim::KernelContext& ctx) {
+        const index_t i =
+            schedule_.level_cols[schedule_.level_ptr[l] +
+                                 static_cast<index_t>(b)];
+        value_t acc = x[i];
+        for (offset_t k = f.row_ptr[i]; k < f.row_ptr[i + 1]; ++k) {
+          const index_t j = f.col_idx[k];
+          if (j != i) acc -= f.values[k] * x[j];
+          ctx.add_ops(1);
+        }
+        // Unit diagonal for L (stored as 1); explicit divide for U.
+        const value_t diag = f.values[diag_pos_[i]];
+        E2ELU_CHECK_MSG(diag != value_t{0}, "singular diagonal at " << i);
+        x[i] = lower_ ? acc : acc / diag;
+      });
+}
+
 void TriangularSolver::solve(std::vector<value_t>& x) const {
   E2ELU_CHECK(x.size() == static_cast<std::size_t>(factor_->n));
-  const Csr& f = *factor_;
   TRACE_SPAN(lower_ ? "solve.lower" : "solve.upper", *device_,
-             {{"n", f.n}, {"levels", schedule_.num_levels()}});
+             {{"n", factor_->n},
+              {"levels", schedule_.num_levels()},
+              {"streamed", stream_opt_.enabled ? 1 : 0}});
   const std::uint64_t ops_before = device_->stats().kernel_ops;
-  for (index_t l = 0; l < schedule_.num_levels(); ++l) {
-    device_->launch(
-        {.name = lower_ ? "lower_solve_level" : "upper_solve_level",
-         .blocks = schedule_.level_width(l),
-         .threads_per_block = 128,
-         .warp_efficiency = warp_eff_},
-        [&](std::int64_t b, gpusim::KernelContext& ctx) {
-          const index_t i =
-              schedule_.level_cols[schedule_.level_ptr[l] +
-                                   static_cast<index_t>(b)];
-          value_t acc = x[i];
-          for (offset_t k = f.row_ptr[i]; k < f.row_ptr[i + 1]; ++k) {
-            const index_t j = f.col_idx[k];
-            if (j != i) acc -= f.values[k] * x[j];
-            ctx.add_ops(1);
-          }
-          // Unit diagonal for L (stored as 1); explicit divide for U.
-          const value_t diag = f.values[diag_pos_[i]];
-          E2ELU_CHECK_MSG(diag != value_t{0}, "singular diagonal at " << i);
-          x[i] = lower_ ? acc : acc / diag;
-        });
+  if (stream_opt_.enabled) {
+    solve_streamed(x);
+  } else {
+    for (index_t l = 0; l < schedule_.num_levels(); ++l) {
+      launch_level(l, x, nullptr);
+    }
   }
   ops_ += device_->stats().kernel_ops - ops_before;
+}
+
+void TriangularSolver::solve_streamed(std::vector<value_t>& x) const {
+  const index_t num_levels = schedule_.num_levels();
+  if (num_levels == 0) return;
+  const std::size_t budget = stream_opt_.budget_bytes != 0
+                                 ? stream_opt_.budget_bytes
+                                 : device_->free_bytes();
+  E2ELU_CHECK_MSG(budget > 0, "streaming solve budget must be positive");
+  const int ahead = std::max(0, stream_opt_.prefetch_ahead);
+  const std::size_t capacity =
+      std::max<std::size_t>(budget / static_cast<std::size_t>(1 + ahead), 1);
+
+  // Greedy level chunking under the per-chunk capacity; an overweight
+  // single level travels alone (its transfer just takes longer).
+  std::vector<index_t> chunk_ptr{0};
+  std::vector<std::size_t> chunk_bytes;
+  index_t l = 0;
+  while (l < num_levels) {
+    index_t end = l;
+    std::size_t bytes = 0;
+    while (end < num_levels &&
+           (end == l || bytes + level_bytes_[end] <= capacity)) {
+      bytes += level_bytes_[end];
+      ++end;
+      if (bytes > capacity) break;
+    }
+    chunk_ptr.push_back(end);
+    chunk_bytes.push_back(bytes);
+    l = end;
+  }
+  const auto num_chunks = static_cast<index_t>(chunk_bytes.size());
+
+  // The factor chunks are read-only: fetch ahead on the transfer stream,
+  // solve on the compute stream, drop on retirement. The budget bound is
+  // respected by construction (1 + ahead chunks of `capacity` bytes).
+  gpusim::RawDeviceAllocation arena(
+      *device_, std::min(budget, device_->free_bytes()));
+  gpusim::Stream xfer(*device_);
+  gpusim::Stream compute(*device_);
+  std::vector<gpusim::Event> fetched(static_cast<std::size_t>(num_chunks));
+  index_t next_fetch = 0;
+  auto fetch = [&](index_t c, bool lookahead) {
+    device_->copy_h2d_async(chunk_bytes[c], xfer);
+    fetched[c].record(xfer);
+    stream_stats_.fetch_bytes += chunk_bytes[c];
+    if (lookahead) ++stream_stats_.prefetches;
+    next_fetch = c + 1;
+  };
+  for (index_t c = 0; c < num_chunks; ++c) {
+    if (next_fetch <= c) fetch(c, /*lookahead=*/false);
+    while (next_fetch < num_chunks && next_fetch <= c + ahead) {
+      fetch(next_fetch, /*lookahead=*/true);
+    }
+    stream_stats_.stall_us +=
+        std::max(0.0, fetched[c].timestamp_us() - compute.ready_us());
+    compute.wait(fetched[c]);
+    for (index_t cl = chunk_ptr[c]; cl < chunk_ptr[c + 1]; ++cl) {
+      launch_level(cl, x, &compute);
+    }
+  }
+  stream_stats_.chunks += static_cast<std::uint64_t>(num_chunks);
+  device_->synchronize();
 }
 
 LuSolver::LuSolver(gpusim::Device& device, const Csr& l, const Csr& u)

@@ -20,6 +20,29 @@
 
 namespace e2elu::solve {
 
+/// Streaming (out-of-core) solve: when enabled, the factor rows are not
+/// device-resident — consecutive levels are grouped into chunks whose
+/// rows fit budget_bytes / (1 + prefetch_ahead), and each chunk's rows
+/// stream in on a transfer stream ahead of the compute stream's
+/// substitution kernels, mirroring the numeric factor window. The factor
+/// is read-only during a solve, so a retired chunk is simply dropped (no
+/// write-back). Factors produced by a windowed factorization live on the
+/// host; this is how their solves get them back without ever holding L
+/// or U whole on the device.
+struct SolveStreamOptions {
+  bool enabled = false;
+  std::size_t budget_bytes = 0;  ///< 0 = device free bytes at solve entry
+  int prefetch_ahead = 1;
+};
+
+/// Accumulated streaming counters over all solve() calls.
+struct SolveStreamStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t prefetches = 0;  ///< chunk fetches issued ahead
+  std::uint64_t fetch_bytes = 0;
+  double stall_us = 0;  ///< compute blocked on an unfinished fetch
+};
+
 /// A triangular factor prepared for repeated level-parallel solves: the
 /// per-row levels are computed once (on the device, via the Algorithm 5
 /// levelizer) and reused for every right-hand side.
@@ -41,6 +64,10 @@ class TriangularSolver {
 
   const Csr& factor() const { return *factor_; }
 
+  /// Enables/disables streaming mode for subsequent solve() calls.
+  void set_stream_options(const SolveStreamOptions& opt) { stream_opt_ = opt; }
+  const SolveStreamStats& stream_stats() const { return stream_stats_; }
+
   index_t num_levels() const { return schedule_.num_levels(); }
   /// Work items performed by this solver's kernels, summed over all
   /// solve() calls — including batched sweeps run through a
@@ -54,11 +81,21 @@ class TriangularSolver {
   /// positions, and ops accounting rather than duplicating them.
   friend class BatchedTriangularSolver;
 
+  /// Streaming solve body: chunks the levels under the budget, prefetches
+  /// upcoming chunks on a transfer stream, launches on a compute stream.
+  void solve_streamed(std::vector<value_t>& x) const;
+  /// One level's substitution kernel, on `stream` (null = default).
+  void launch_level(index_t l, std::vector<value_t>& x,
+                    gpusim::Stream* stream) const;
+
   gpusim::Device* device_;
   const Csr* factor_;
   bool lower_;
   scheduling::LevelSchedule schedule_;
   std::vector<offset_t> diag_pos_;  ///< position of (i,i) in each row
+  std::vector<std::size_t> level_bytes_;  ///< factor-row bytes per level
+  SolveStreamOptions stream_opt_;
+  mutable SolveStreamStats stream_stats_;
   mutable std::uint64_t ops_ = 0;
   double warp_eff_ = 1.0;
 };
@@ -74,6 +111,12 @@ class LuSolver {
   /// Rebinds both factors to same-pattern replacements without rebuilding
   /// the level schedules. Validates both patterns before swapping either.
   void rebind(const Csr& l, const Csr& u);
+
+  /// Streaming mode for both factors (see SolveStreamOptions).
+  void set_stream_options(const SolveStreamOptions& opt) {
+    lower_.set_stream_options(opt);
+    upper_.set_stream_options(opt);
+  }
 
   const TriangularSolver& lower() const { return lower_; }
   const TriangularSolver& upper() const { return upper_; }

@@ -6,6 +6,7 @@
 // sequential one.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -27,15 +28,18 @@ T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
   return running;
 }
 
-/// Two-pass parallel exclusive scan over the global thread pool:
-/// per-range partial sums, a sequential scan of the partials, then a
-/// parallel fix-up. Deterministic regardless of thread count.
+/// Two-pass parallel exclusive scan over `pool`: per-range partial sums,
+/// a sequential scan of the partials, then a parallel fix-up.
+/// Deterministic regardless of thread count. Never launches more ranges
+/// than elements; degenerates to the sequential scan for empty input or
+/// a pool that cannot actually parallelize (one — or a pathological
+/// zero — threads), where the range machinery would only add overhead.
 template <typename T>
-T parallel_exclusive_scan(std::vector<T>& data) {
+T parallel_exclusive_scan(std::vector<T>& data, ThreadPool& pool) {
   const std::size_t n = data.size();
   if (n == 0) return T{0};
-  ThreadPool& pool = ThreadPool::global();
-  const std::size_t num_ranges = pool.num_threads();
+  const std::size_t num_ranges = std::min(pool.num_threads(), n);
+  if (num_ranges <= 1) return exclusive_scan(data, data);
   const std::size_t range_len = (n + num_ranges - 1) / num_ranges;
 
   std::vector<T> partial(num_ranges, T{0});
@@ -64,6 +68,12 @@ T parallel_exclusive_scan(std::vector<T>& data) {
     for (std::size_t i = begin; i < end; ++i) data[i] += partial[r];
   });
   return total;
+}
+
+/// Convenience overload on the global pool.
+template <typename T>
+T parallel_exclusive_scan(std::vector<T>& data) {
+  return parallel_exclusive_scan(data, ThreadPool::global());
 }
 
 }  // namespace e2elu

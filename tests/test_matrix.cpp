@@ -180,6 +180,52 @@ TEST(MatrixMarket, RejectsRectangularAndMalformed) {
   EXPECT_THROW(read_matrix_market(trunc), Error);
 }
 
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  std::stringstream row_over(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(row_over), Error);
+  std::stringstream col_over(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1.0\n");
+  EXPECT_THROW(read_matrix_market(col_over), Error);
+  std::stringstream zero_based(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(zero_based), Error);
+}
+
+TEST(MatrixMarket, RejectsDuplicateEntries) {
+  // The coordinate format lists each entry once; a doubled entry is a
+  // corrupt file, not FE-assembly input, and must not be silently summed.
+  std::stringstream dup(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n1 1 1.0\n2 2 2.0\n1 1 3.0\n");
+  EXPECT_THROW(read_matrix_market(dup), Error);
+  // A symmetric file's mirror expansion is not a duplicate.
+  std::stringstream sym(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 3\n1 1 4.0\n2 1 1.0\n2 2 4.0\n");
+  EXPECT_EQ(coo_to_csr(read_matrix_market(sym)).nnz(), 4);
+  // But the same lower-triangle pair listed twice still is one.
+  std::stringstream sym_dup(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 3\n1 1 4.0\n2 1 1.0\n2 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(sym_dup), Error);
+}
+
+TEST(MatrixMarket, RejectsImpossibleHeaderCounts) {
+  // 2x2 holds at most 4 entries; a header advertising 5 is corrupt even
+  // if the file then truncates.
+  std::stringstream over(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 5\n1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n");
+  EXPECT_THROW(read_matrix_market(over), Error);
+  std::stringstream negative(
+      "%%MatrixMarket matrix coordinate real general\n2 2 -1\n");
+  EXPECT_THROW(read_matrix_market(negative), Error);
+  std::stringstream neg_dim(
+      "%%MatrixMarket matrix coordinate real general\n-2 -2 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(neg_dim), Error);
+}
+
 class GeneratorProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(GeneratorProperties, WellFormedDominantWithDiagonal) {

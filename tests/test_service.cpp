@@ -376,6 +376,67 @@ TEST(FactorService, InjectedAllocationFailureEvictsAndRetries) {
           .cache_hit);
 }
 
+TEST(FactorService, RetryEvictionShedsFootprintNotOneEntryPerAttempt) {
+  // Regression: the cold-build OOM retry used to shed exactly one LRU
+  // entry per attempt regardless of the headroom the build needs. With a
+  // cache full of many small plans and a build whose estimate dwarfs
+  // them, the bounded retry budget (3 attempts, 2 evictions) exhausted
+  // long before meaningful headroom appeared. The retry path must evict
+  // to the needed footprint — capped at the whole budget — like the
+  // pre-build relief does.
+  FactorServiceOptions opt = deterministic_options();
+  opt.pipeline.recovery.enabled = false;  // faults escape to the service
+
+  // Budget sized so six small plans stay comfortably resident (each
+  // admission's pre-build relief sees ample headroom) ...
+  const Csr small0 = service_matrix(0x10);
+  std::size_t small_fp;
+  {
+    Options popt = opt.pipeline;
+    small_fp = refactor::Refactorizer(small0, popt).device_footprint_bytes();
+  }
+  const std::size_t small_est = PatternCache::estimate_footprint(small0);
+  opt.cache.memory_budget_bytes = 6 * small_fp + 4 * small_est;
+  FactorService svc(opt);
+
+  svc.submit(small0, std::nullopt, "t", 0).get();
+  for (std::uint64_t s = 1; s < 6; ++s) {
+    svc.submit(service_matrix(0x10 + s), std::nullopt, "t", 0).get();
+  }
+  ASSERT_EQ(6u, svc.stats().cache.entries);
+
+  // ... while the big job's symbolic estimate exceeds the entire budget,
+  // so its pre-build relief deliberately clears nothing (uncacheable
+  // size) and every byte of headroom must come from the retry path.
+  index_t big_n = 2000;
+  Csr big = gen_circuit(big_n, 6.0, 4, 32, 0x7a);
+  while (PatternCache::estimate_footprint(big) <=
+         opt.cache.memory_budget_bytes) {
+    big_n *= 2;
+    big = gen_circuit(big_n, 6.0, 4, 32, 0x7a);
+  }
+
+  {
+    // Unrecoverable: every allocation of every attempt fails.
+    fault::ScopedPlan plan("alloc_prob=1.0; seed=3");
+    auto doomed = svc.submit(big, std::nullopt, "t", 0);
+    try {
+      doomed.get();
+      FAIL() << "unrecoverable injected OOM must fail the future";
+    } catch (const FactorError& e) {
+      EXPECT_EQ(FaultKind::DeviceOutOfMemory, e.kind());
+    }
+  }
+
+  // Three attempts, two retry evictions. One-entry-per-retry would leave
+  // four of the six plans resident; evicting to the (budget-capped)
+  // footprint clears the whole cache on the first retry.
+  const auto stats = svc.stats();
+  EXPECT_EQ(2u, stats.build_retries);
+  EXPECT_EQ(0u, stats.cache.entries);
+  EXPECT_GE(stats.cache.evictions, 6u);
+}
+
 // ----------------------------------------------------- fault isolation --
 
 TEST(FactorService, InjectedFaultsFailOnlyTheTargetTenantsFuture) {

@@ -86,6 +86,43 @@ TEST(PrefixSum, ParallelMatchesSequential) {
   }
 }
 
+TEST(PrefixSum, ParallelEdgeCasesOnExplicitPool) {
+  // n == 0 and n == 1 through the pool-taking entry point, plus inputs
+  // shorter than the worker count: the scan must never launch more
+  // ranges than elements.
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    std::vector<offset_t> data(n, 5);
+    std::vector<offset_t> expected;
+    const offset_t total = exclusive_scan(data, expected);
+    EXPECT_EQ(parallel_exclusive_scan(data, pool), total);
+    EXPECT_EQ(data, expected);
+  }
+}
+
+TEST(PrefixSum, ParallelOnSingleThreadPoolFallsBackSequential) {
+  ThreadPool single(1);
+  ASSERT_EQ(single.num_threads(), 1u);
+  std::vector<offset_t> data{4, 0, 2, 7, 1};
+  EXPECT_EQ(parallel_exclusive_scan(data, single), 14);
+  EXPECT_EQ(data, (std::vector<offset_t>{0, 4, 4, 6, 13}));
+
+  std::vector<offset_t> empty;
+  EXPECT_EQ(parallel_exclusive_scan(empty, single), 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(PrefixSum, GlobalPoolEntryPointHandlesTinyInputs) {
+  for (std::size_t n : {0u, 1u}) {
+    std::vector<offset_t> data(n, 9);
+    EXPECT_EQ(parallel_exclusive_scan(data),
+              static_cast<offset_t>(n == 0 ? 0 : 9));
+    if (n == 1) {
+      EXPECT_EQ(data[0], 0);
+    }
+  }
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());

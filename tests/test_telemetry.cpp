@@ -394,6 +394,86 @@ TEST(FlightRecorder, FailureAlwaysTriggersAndCapRespected) {
             2u);
 }
 
+// Pins the zero-threshold guard: p99 * outlier_factor is 0 both before
+// any history exists and when every prior job had zero latency. Neither
+// situation may flag the next job as a "latency outlier" — the trigger
+// requires a strictly positive threshold in addition to min_samples.
+TEST(FlightRecorder, ZeroThresholdNeverFlagsLatency) {
+  MetricsRegistry::global().clear();
+  FlightRecorderOptions opts;
+  opts.dir = fresh_dir("fr_zero_threshold");
+  opts.min_samples = 0;  // disarm the sample-count guard on purpose
+  opts.outlier_factor = 4.0;
+  FlightRecorder fr(opts);
+
+  // Empty history: p99 = 0, threshold = 0 — even a huge first job must
+  // not flag, since there is no bar to compare it against yet.
+  JobReport first;
+  first.tenant = "acme";
+  first.job_id = 1;
+  first.total_us = 12345.0;
+  EXPECT_FALSE(fr.observe(first).has_value());
+  EXPECT_EQ(fr.incidents(), 0u);
+}
+
+TEST(FlightRecorder, AllZeroHistoryKeepsThresholdDisarmed) {
+  MetricsRegistry::global().clear();
+  FlightRecorderOptions opts;
+  opts.dir = fresh_dir("fr_zero_history");
+  opts.min_samples = 0;  // disarm the sample-count guard on purpose
+  opts.outlier_factor = 4.0;
+  FlightRecorder fr(opts);
+
+  // All-zero-latency priors keep the p99 — and so the threshold — at 0.
+  // threshold > 0 is the guard: a zero threshold must never flag,
+  // however large the newcomer.
+  JobReport zero;
+  zero.tenant = "acme";
+  zero.total_us = 0.0;
+  for (std::uint64_t k = 2; k < 10; ++k) {
+    zero.job_id = k;
+    EXPECT_FALSE(fr.observe(zero).has_value());
+  }
+  JobReport huge;
+  huge.tenant = "acme";
+  huge.job_id = 99;
+  huge.total_us = 1e9;
+  EXPECT_FALSE(fr.observe(huge).has_value());
+  EXPECT_EQ(fr.incidents(), 0u);
+
+  // Failures bypass the latency threshold entirely — a zero threshold
+  // must not suppress error incidents.
+  JobReport failed;
+  failed.tenant = "acme";
+  failed.failed = true;
+  failed.error = "synthetic";
+  failed.job_id = 100;
+  EXPECT_TRUE(fr.observe(failed).has_value());
+}
+
+TEST(FlightRecorder, MinSamplesGuardHoldsBeforeHistoryFills) {
+  MetricsRegistry::global().clear();
+  FlightRecorderOptions opts;
+  opts.dir = fresh_dir("fr_min_samples");
+  opts.min_samples = 16;
+  opts.outlier_factor = 2.0;
+  FlightRecorder fr(opts);
+
+  JobReport normal;
+  normal.tenant = "acme";
+  normal.total_us = 100.0;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    normal.job_id = k;
+    fr.observe(normal);
+  }
+  // 5 priors < min_samples: even a 1000x outlier stays unflagged.
+  JobReport slow = normal;
+  slow.job_id = 50;
+  slow.total_us = 100000.0;
+  EXPECT_FALSE(fr.observe(slow).has_value());
+  EXPECT_EQ(fr.incidents(), 0u);
+}
+
 TEST(FlightRecorder, FaultedJobProducesParseableIncidentWithPhaseSpans) {
   MetricsRegistry::global().clear();
   trace::Tracer::instance().enable({});
