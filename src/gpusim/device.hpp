@@ -229,6 +229,7 @@ class Device {
  private:
   friend class RawDeviceAllocation;
   friend class Stream;
+  friend class DeviceGroup;
   void allocate(std::size_t bytes);
   void deallocate(std::size_t bytes) noexcept;
 
@@ -283,6 +284,7 @@ class Stream {
 
  private:
   friend class Device;
+  friend class DeviceGroup;
   Device* device_;
   double ready_us_ = 0;
 };

@@ -1,0 +1,123 @@
+#include "gpusim/device_group.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace e2elu::gpusim {
+
+DeviceStats& accumulate(DeviceStats& into, const DeviceStats& d) {
+  into.host_launches += d.host_launches;
+  into.device_launches += d.device_launches;
+  into.kernel_ops += d.kernel_ops;
+  into.h2d_bytes += d.h2d_bytes;
+  into.d2h_bytes += d.d2h_bytes;
+  into.page_faults += d.page_faults;
+  into.page_fault_groups += d.page_fault_groups;
+  into.prefetch_bytes += d.prefetch_bytes;
+  into.fused_launches += d.fused_launches;
+  into.fused_levels += d.fused_levels;
+  into.sim_kernel_us += d.sim_kernel_us;
+  into.sim_launch_us += d.sim_launch_us;
+  into.sim_transfer_us += d.sim_transfer_us;
+  into.sim_fault_us += d.sim_fault_us;
+  into.sim_occupancy_us += d.sim_occupancy_us;
+  into.sim_elapsed_us = std::max(into.sim_elapsed_us, d.sim_elapsed_us);
+  return into;
+}
+
+DeviceGroup::DeviceGroup(const DeviceSpec& spec, int num_devices,
+                         PeerSpec peer)
+    : peer_(peer) {
+  E2ELU_CHECK_MSG(num_devices >= 1, "a device group needs >= 1 member");
+  devices_.reserve(static_cast<std::size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i) {
+    DeviceSpec member = spec;
+    member.name = spec.name + "#" + std::to_string(i);
+    devices_.push_back(std::make_unique<Device>(std::move(member)));
+  }
+  pair_.resize(static_cast<std::size_t>(num_devices) *
+               static_cast<std::size_t>(num_devices));
+}
+
+void DeviceGroup::use_pool(ThreadPool& pool) {
+  for (auto& d : devices_) d->use_pool(pool);
+}
+
+std::size_t DeviceGroup::pair_index(int src, int dst) const {
+  E2ELU_CHECK_MSG(src >= 0 && src < size() && dst >= 0 && dst < size(),
+                  "peer index out of range");
+  E2ELU_CHECK_MSG(src != dst, "peer transfer to the same device");
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(size()) +
+         static_cast<std::size_t>(dst);
+}
+
+void DeviceGroup::peer_copy(int src, int dst, std::size_t bytes) {
+  PeerStats& p = pair_[pair_index(src, dst)];
+  Device& s = *devices_[static_cast<std::size_t>(src)];
+  Device& d = *devices_[static_cast<std::size_t>(dst)];
+  const double us = peer_.time_us(bytes);
+  // Full-barrier semantics on both ends, like a default-stream memcpy.
+  const double t0 = std::max(s.synchronize(), d.synchronize());
+  const double t1 = t0 + us;
+  for (Device* m : {&s, &d}) {
+    m->serial_done_us_ = std::max(m->serial_done_us_, t1);
+    m->host_issue_us_ = std::max(m->host_issue_us_, t1);
+    for (Stream* st : m->streams_) st->ready_us_ = std::max(st->ready_us_, t1);
+    m->stats_.sim_elapsed_us = std::max(m->stats_.sim_elapsed_us, t1);
+  }
+  ++p.transfers;
+  p.bytes += bytes;
+  p.sim_us += us;
+}
+
+void DeviceGroup::peer_copy_async(int src, int dst, std::size_t bytes,
+                                  Stream& src_stream, Stream& dst_stream) {
+  PeerStats& p = pair_[pair_index(src, dst)];
+  E2ELU_CHECK_MSG(
+      &src_stream.device() == devices_[static_cast<std::size_t>(src)].get(),
+      "source stream belongs to a different device");
+  E2ELU_CHECK_MSG(
+      &dst_stream.device() == devices_[static_cast<std::size_t>(dst)].get(),
+      "destination stream belongs to a different device");
+  const double us = peer_.time_us(bytes);
+  // cudaStreamWaitEvent(dst_stream, event-on-src_stream): the copy starts
+  // once the producer's queued work AND the consumer stream's prior work
+  // are done, then lands on the consumer's timeline.
+  const double start = std::max(dst_stream.ready_us_, src_stream.ready_us_);
+  dst_stream.ready_us_ = start + us;
+  Device& d = *devices_[static_cast<std::size_t>(dst)];
+  d.stats_.sim_elapsed_us =
+      std::max(d.stats_.sim_elapsed_us, dst_stream.ready_us_);
+  ++p.transfers;
+  p.bytes += bytes;
+  p.sim_us += us;
+}
+
+PeerStats DeviceGroup::peer_total() const {
+  PeerStats total;
+  for (const PeerStats& p : pair_) total += p;
+  return total;
+}
+
+GroupStats DeviceGroup::stats() const {
+  GroupStats g;
+  for (const auto& d : devices_) accumulate(g.devices, d->stats());
+  g.peer = peer_total();
+  g.elapsed_us = elapsed_us();
+  return g;
+}
+
+double DeviceGroup::elapsed_us() const {
+  double t = 0;
+  for (const auto& d : devices_) t = std::max(t, d->elapsed_us());
+  return t;
+}
+
+double DeviceGroup::synchronize() {
+  double t = 0;
+  for (auto& d : devices_) t = std::max(t, d->synchronize());
+  return t;
+}
+
+}  // namespace e2elu::gpusim

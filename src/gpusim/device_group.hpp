@@ -1,0 +1,147 @@
+// DeviceGroup: N simulated devices factoring one problem together, with
+// per-pair peer-transfer cost accounting.
+//
+// Every member is an ordinary gpusim::Device — its own memory capacity,
+// counters, and timelines — so all single-device machinery (DeviceBuffer,
+// Stream/Event, fault injection, trace snapshots) works unchanged per
+// member. What the group adds is the interconnect: explicit peer copies
+// (cudaMemcpyPeer / NVLink-style) whose bytes and simulated time are
+// accounted per ordered (src, dst) pair, *separately* from the members'
+// own PCIe counters. That separation is a hard invariant: the sum of
+// per-device DeviceStats deltas plus the peer-transfer deltas tiles the
+// group totals exactly (mirroring the single-device delta-tiling of the
+// trace layer; test-enforced in tests/test_sharding.cpp).
+//
+// Time model: member clocks share one epoch (every device starts at 0),
+// so a timestamp captured on one device's stream is directly comparable
+// to another's — which is what lets the PR5 Event machinery order
+// cross-device work. An async peer copy starts when both the source
+// stream's queued work and the destination stream's queued work have
+// finished, occupies the link for bytes / bandwidth + latency, and lands
+// on the destination stream's timeline; the group's elapsed clock is the
+// max over member clocks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/spec.hpp"
+
+namespace e2elu::gpusim {
+
+/// Cost model of one peer link (all pairs share it; NVLink-ish defaults,
+/// i.e. a few times faster than the PCIe path to the host).
+struct PeerSpec {
+  double bandwidth_gbps = 40.0;  ///< per-direction link bandwidth
+  double latency_us = 2.0;       ///< fixed per-transfer cost (enqueue + hop)
+
+  double time_us(std::size_t bytes) const {
+    return latency_us + static_cast<double>(bytes) / (bandwidth_gbps * 1e3);
+  }
+};
+
+/// Counters of one ordered (src, dst) pair — or, summed, of the whole
+/// interconnect. Peer traffic is accounted here and only here: it never
+/// touches the members' h2d/d2h counters.
+struct PeerStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  double sim_us = 0;  ///< link occupancy charged for those transfers
+
+  PeerStats since(const PeerStats& before) const {
+    return {transfers - before.transfers, bytes - before.bytes,
+            sim_us - before.sim_us};
+  }
+  PeerStats& operator+=(const PeerStats& o) {
+    transfers += o.transfers;
+    bytes += o.bytes;
+    sim_us += o.sim_us;
+    return *this;
+  }
+};
+
+/// Aggregated view of the whole group at one instant.
+struct GroupStats {
+  /// Field-wise sum over the members' DeviceStats — except
+  /// sim_elapsed_us, which is the max over member clocks (wall time of a
+  /// gang does not add).
+  DeviceStats devices;
+  /// Sum over every ordered pair's PeerStats.
+  PeerStats peer;
+  /// Group wall clock: max member elapsed (peer arrivals included — a
+  /// transfer advances its destination's clock).
+  double elapsed_us = 0;
+
+  GroupStats since(const GroupStats& before) const {
+    GroupStats d;
+    d.devices = devices.since(before.devices);
+    d.peer = peer.since(before.peer);
+    d.elapsed_us = elapsed_us - before.elapsed_us;
+    return d;
+  }
+};
+
+/// Field-wise accumulation of DeviceStats (sim_elapsed_us takes the max —
+/// see GroupStats::devices). Exposed so tests can tile per-device deltas
+/// against group totals without hand-rolling the field list.
+DeviceStats& accumulate(DeviceStats& into, const DeviceStats& d);
+
+class DeviceGroup {
+ public:
+  /// `num_devices` identical members built from `spec`.
+  DeviceGroup(const DeviceSpec& spec, int num_devices, PeerSpec peer = {});
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+  const Device& device(int i) const {
+    return *devices_[static_cast<std::size_t>(i)];
+  }
+  const PeerSpec& peer_spec() const { return peer_; }
+
+  /// Routes every member's kernel bodies through `pool` (see
+  /// Device::use_pool). A single-worker pool makes the whole group's
+  /// block execution order — and thus factor bits — deterministic.
+  void use_pool(ThreadPool& pool);
+
+  /// Synchronous peer copy (cudaMemcpyPeer): starts after *all* work
+  /// queued on both members, occupies the link, and blocks both members
+  /// behind it. Counted on the (src, dst) pair only.
+  void peer_copy(int src, int dst, std::size_t bytes);
+
+  /// Asynchronous peer copy: ordered after prior work on `src_stream`
+  /// (the producer's event) and `dst_stream`, lands on `dst_stream`'s
+  /// timeline — the consumer's next launch on that stream starts after
+  /// the data arrived. The source stream is not blocked (the copy engine
+  /// reads behind the producer's already-completed work).
+  void peer_copy_async(int src, int dst, std::size_t bytes,
+                       Stream& src_stream, Stream& dst_stream);
+
+  /// Counters of one ordered pair.
+  const PeerStats& peer_stats(int src, int dst) const {
+    return pair_[pair_index(src, dst)];
+  }
+  /// Sum over all ordered pairs.
+  PeerStats peer_total() const;
+
+  /// Aggregated group snapshot (see GroupStats).
+  GroupStats stats() const;
+
+  /// Group wall clock: max member elapsed.
+  double elapsed_us() const;
+
+  /// Synchronizes every member (joins all their streams) and returns the
+  /// group wall clock.
+  double synchronize();
+
+ private:
+  std::size_t pair_index(int src, int dst) const;
+
+  PeerSpec peer_;
+  std::vector<std::unique_ptr<Device>> devices_;  // Device is not movable
+  std::vector<PeerStats> pair_;                   // size() * size(), row-major
+};
+
+}  // namespace e2elu::gpusim

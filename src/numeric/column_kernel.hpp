@@ -75,8 +75,16 @@ inline offset_t bsearch_position(const Csc& csc, index_t j, index_t i,
 
 /// Factorizes column j of `m` in place with binary-search element access
 /// (lines 2-6 of Algorithm 2, then the sub-column updates of lines 7-15).
-/// Used by both the sequential reference and the sparse GPU executor.
-inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
+/// Used by the sequential reference, the sparse GPU executor, and the
+/// sharded executor. `sub_column_hook(k, l_len)` fires once per
+/// numerically live sub-column target k (with l_len update contributions
+/// about to land in column k) — the sharded executor tallies cross-device
+/// contribution traffic through it. The hook observes only; the update
+/// arithmetic and its order are identical for every caller, which is what
+/// makes sharded factors bit-identical to single-device ones.
+template <class SubColumnHook>
+inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j,
+                                           SubColumnHook&& sub_column_hook) {
   std::uint64_t ops = 0;
   const offset_t dp = m.diag_pos[j];
   const value_t diag = load_pivot(m.csc.values[dp], j);
@@ -95,6 +103,7 @@ inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
     const value_t ujk = m.csc.values[m.csr_pos_to_csc[rp]];
     ++ops;
     if (ujk == value_t{0}) continue;  // numerically dead sub-column
+    sub_column_hook(k, static_cast<offset_t>(col_end - dp - 1));
     for (offset_t p = dp + 1; p < col_end; ++p) {
       const index_t i = m.csc.row_idx[p];
       const value_t lij = m.csc.values[p];
@@ -104,6 +113,10 @@ inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
     }
   }
   return ops;
+}
+
+inline std::uint64_t process_column_sparse(FactorMatrix& m, index_t j) {
+  return process_column_sparse(m, j, [](index_t, offset_t) {});
 }
 
 // ---------------------------------------------------------------------------

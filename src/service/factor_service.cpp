@@ -286,6 +286,25 @@ JobResult FactorService::run_job(Job& job, std::size_t worker_id,
   r.tenant = job.tenant;
   r.priority = job.priority;
 
+  if (opt_.sharding.enabled && job.a.n >= opt_.sharding.min_n) {
+    // Big-job route: the pattern cache cannot help a first-time pattern of
+    // this size, and one device serves it slowest — factor it across the
+    // group. Bypasses the cache entirely (group-resident shards are not a
+    // cacheable single-device plan).
+    r = run_sharded(job, worker_id, report);
+    if (job.rhs.has_value()) {
+      TRACE_SPAN("service.solve", {{"n", job.a.n}});
+      PhaseTimer timer(report.solve_us);
+      r.x = SparseLU::solve(r.factors, *job.rhs);
+    }
+    report.launches = r.launches;
+    report.sim_us = r.sim_us;
+    report.symbolic_replans = r.factors.symbolic_replans;
+    report.pivot_perturbations = r.factors.pivot_perturbations;
+    report.recovery_retries = r.factors.recovery_retries;
+    return r;
+  }
+
   PatternCache::EntryPtr entry;
   if (opt_.cache_enabled) {
     TRACE_SPAN("service.cache_lookup");
@@ -428,6 +447,41 @@ JobResult FactorService::run_cold(Job& job, std::size_t worker_id,
   r.factors = engine->factors();
   report.device = engine->factors().device_stats;
   if (opt_.cache_enabled) cache_.insert(job.a, std::move(engine));
+  return r;
+}
+
+JobResult FactorService::run_sharded(Job& job, std::size_t worker_id,
+                                     telemetry::JobReport& report) {
+  PhaseTimer timer(report.build_us);
+  JobResult r;
+  r.job_id = job.id;
+  r.tenant = job.tenant;
+  r.priority = job.priority;
+
+  Options popt = opt_.pipeline;
+  if (opt_.deterministic) popt.pool = worker_pools_[worker_id].get();
+
+  sharding::ShardingOptions sopt = opt_.sharding.options;
+  sopt.num_devices = opt_.sharding.devices;
+
+  TRACE_SPAN("service.sharded_factorize", {{"n", job.a.n},
+                                           {"nnz", job.a.nnz()},
+                                           {"devices", sopt.num_devices}});
+  sharding::ShardedFactorizer engine(popt, sopt);
+  sharding::ShardReport srep;
+  r.factors = engine.factorize(job.a, srep);
+  r.sharded = true;
+  r.launches = launches_of(r.factors.device_stats);
+  r.sim_us = r.factors.total_sim_us();
+  report.device = r.factors.device_stats;
+  report.sharded = true;
+  report.sharded_devices = srep.devices_used;
+
+  trace::MetricsRegistry::global().counter("service.sharded_jobs").add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.sharded_jobs;
+  }
   return r;
 }
 

@@ -55,6 +55,7 @@
 
 #include "core/sparse_lu.hpp"
 #include "service/pattern_cache.hpp"
+#include "sharding/sharded_factorizer.hpp"
 #include "support/bounded_queue.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/dashboard.hpp"
@@ -84,6 +85,20 @@ struct FactorServiceOptions {
   Options pipeline;
   /// Stability thresholds for replays (fallback -> demotion).
   refactor::RefactorOptions refactor;
+  /// Multi-device routing: jobs with n >= sharding.min_n factorize on a
+  /// ShardedFactorizer over a `sharding.devices`-member group instead of
+  /// the pattern-cache path. Big first-time matrices are exactly the jobs
+  /// the cache cannot help (no prior pattern) and one device serves
+  /// slowest; the sharded path splits their elimination forest across the
+  /// group. Factors are bit-identical either way (the sharding
+  /// invariant), so routing is purely a latency decision.
+  struct ShardingRoute {
+    bool enabled = false;
+    int devices = 4;
+    index_t min_n = 4096;  ///< smaller jobs keep the cache path
+    sharding::ShardingOptions options;  ///< options.num_devices is
+                                        ///< overridden by `devices`
+  } sharding;
   /// Compiles cache-bound plans with level fusion, so a warm replay
   /// drains whole clusters of narrow levels in single launches instead of
   /// re-paying the per-level launch storm on every resubmission — where
@@ -117,6 +132,7 @@ struct JobResult {
   bool cache_hit = false;  ///< routed through a cached plan
   bool replayed = false;   ///< numeric-only replay completed and was kept
   bool demoted = false;    ///< stability fallback re-ran the full pipeline
+  bool sharded = false;    ///< routed to the multi-device sharded path
   /// Device kernel launches attributed to this job — replay launch
   /// counts on the warm path, full-pipeline counts cold (the per-job
   /// signal that warm routing actually skipped the discovery phases).
@@ -150,6 +166,7 @@ struct FactorServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t replays = 0;
   std::uint64_t demotions = 0;
+  std::uint64_t sharded_jobs = 0;     ///< jobs routed to the device group
   std::uint64_t build_retries = 0;    ///< cold builds retried after eviction
   std::size_t max_queue_depth = 0;
   PatternCacheStats cache;
@@ -213,6 +230,8 @@ class FactorService {
                     telemetry::JobReport& report);
   JobResult run_cold(Job& job, std::size_t worker_id,
                      telemetry::JobReport& report);
+  JobResult run_sharded(Job& job, std::size_t worker_id,
+                        telemetry::JobReport& report);
   void finish_job(Job& job, JobResult result);
   void fail_job(Job& job, std::exception_ptr error);
   void retire_job(const std::string& tenant, bool failed, bool replayed);

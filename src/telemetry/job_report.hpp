@@ -47,6 +47,8 @@ struct JobReport {
   bool cache_hit = false;
   bool replayed = false;
   bool demoted = false;  ///< stability fallback re-ran the full pipeline
+  bool sharded = false;  ///< routed to the multi-device sharded path
+  int sharded_devices = 0;  ///< group members the sharded run used
   bool failed = false;
   std::string error;       ///< what() of the failure ("" when clean)
   std::string error_kind;  ///< fault_kind_name ("" when clean/unstructured)

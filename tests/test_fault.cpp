@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <future>
 #include <stdexcept>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/sparse_lu.hpp"
 #include "fault/fault.hpp"
 #include "matrix/generators.hpp"
+#include "sharding/sharded_factorizer.hpp"
 #include "solve/service.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -325,6 +327,139 @@ TEST(FaultService, BatchFailureFansOutAndServiceSurvives) {
   const std::vector<value_t> x = fut.get();
   EXPECT_LE(SparseLU::residual(a, x, b), 1e-8);
   EXPECT_GE(service.stats().batch_failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-path campaign: the PR4 recovery discipline applied to a device
+// group. A member that faults (OOM on its shard upload, launch failure on
+// its level kernels) must be dropped and the shards re-packed onto the
+// survivors; losing every member must surface a structured FactorError —
+// never a hang, never corrupted factors.
+
+Csr sharded_campaign_matrix() {
+  return gen_blocked_planar(600, 24, 3.5, 5, 0x5a4d);
+}
+
+/// Identity permutations + a serial pool: the sharded run and the
+/// single-device SparseLU reference are then bit-comparable, so "recovered
+/// correctly" can be checked against the strongest oracle there is.
+Options sharded_campaign_options(ThreadPool& pool) {
+  Options opt;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  opt.mode = Mode::OutOfCoreGpuDynamic;
+  opt.numeric_format = NumericFormat::SparseBinarySearch;
+  opt.ordering = Ordering::None;
+  opt.match_diagonal = false;
+  opt.pool = &pool;
+  return opt;
+}
+
+sharding::ShardingOptions sharded_campaign_group() {
+  sharding::ShardingOptions sopt;
+  sopt.num_devices = 4;
+  // The campaign targets the multi-device path itself, not the degrade
+  // escape hatch.
+  sopt.allow_degrade = false;
+  return sopt;
+}
+
+TEST(FaultSharded, LaunchFailureDropsTheMemberAndRepacks) {
+  const Csr a = sharded_campaign_matrix();
+  ThreadPool serial(1);
+  const Options opt = sharded_campaign_options(serial);
+  const FactorResult reference = SparseLU(opt).factorize(a);
+
+  sharding::ShardedFactorizer sharded(opt, sharded_campaign_group());
+  sharding::ShardReport rep;
+  FactorResult res;
+  {
+    fault::ScopedPlan plan("launch=shard_numeric_dev1@1");
+    res = sharded.factorize(a, rep);
+    EXPECT_EQ(fault::Injector::instance().events().size(), 1u);
+  }
+  EXPECT_GE(res.recovery_retries, 1);
+  EXPECT_EQ(rep.repacks, 1);
+  ASSERT_EQ(rep.failed_devices.size(), 1u);
+  EXPECT_EQ(rep.failed_devices[0], 1);
+  EXPECT_EQ(rep.devices_used, 3);
+  expect_same_factors(res, reference);
+  EXPECT_EQ(std::memcmp(res.l.values.data(), reference.l.values.data(),
+                        res.l.values.size() * sizeof(value_t)),
+            0);
+}
+
+TEST(FaultSharded, OomOnShardUploadRepacksOntoSurvivors) {
+  const Csr a = sharded_campaign_matrix();
+  ThreadPool serial(1);
+  const Options opt = sharded_campaign_options(serial);
+  const FactorResult reference = SparseLU(opt).factorize(a);
+
+  // Observe mode: count the clean run's allocation sites. The per-member
+  // shard residency allocations are the numeric phase's only allocations,
+  // so the last `num_devices` sites are exactly the shard uploads.
+  std::uint64_t sites = 0;
+  {
+    fault::ScopedPlan observe{fault::FaultPlan{}};
+    sharding::ShardedFactorizer clean(opt, sharded_campaign_group());
+    clean.factorize(a);
+    sites = fault::Injector::instance().alloc_sites();
+  }
+  ASSERT_GT(sites, 4u);
+  const std::uint64_t second_member_upload = sites - 4 + 2;
+
+  sharding::ShardedFactorizer sharded(opt, sharded_campaign_group());
+  sharding::ShardReport rep;
+  FactorResult res;
+  {
+    fault::ScopedPlan plan("alloc=" + std::to_string(second_member_upload));
+    res = sharded.factorize(a, rep);
+    EXPECT_EQ(fault::Injector::instance().events().size(), 1u);
+  }
+  EXPECT_EQ(rep.repacks, 1);
+  ASSERT_EQ(rep.failed_devices.size(), 1u);
+  EXPECT_EQ(rep.failed_devices[0], 1);
+  EXPECT_EQ(rep.devices_used, 3);
+  expect_same_factors(res, reference);
+}
+
+TEST(FaultSharded, LosingEveryMemberIsAStructuredError) {
+  const Csr a = sharded_campaign_matrix();
+  ThreadPool serial(1);
+  const Options opt = sharded_campaign_options(serial);
+
+  // One clause per member: each repack's first kernel on the next
+  // surviving member fails too, until nobody is left. The run must end in
+  // a structured give-up (no hang, no raw device exception).
+  fault::ScopedPlan plan(
+      "launch=shard_numeric_dev0@1; launch=shard_numeric_dev1@1; "
+      "launch=shard_numeric_dev2@1; launch=shard_numeric_dev3@1");
+  sharding::ShardedFactorizer sharded(opt, sharded_campaign_group());
+  sharding::ShardReport rep;
+  try {
+    sharded.factorize(a, rep);
+    FAIL() << "expected FactorError";
+  } catch (const FactorError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::LaunchFailed);
+    EXPECT_EQ(e.phase(), "numeric");
+  }
+  EXPECT_EQ(rep.failed_devices.size(), 4u);
+  EXPECT_EQ(rep.repacks, 3);  // the fourth loss has nobody left to re-pack
+}
+
+TEST(FaultSharded, PersistentZeroPivotGetsPerturbedOnTheShardedPath) {
+  const Csr a = sharded_campaign_matrix();
+  ThreadPool serial(1);
+  const Options opt = sharded_campaign_options(serial);
+
+  // Same policy as SparseLU: the same column failing twice reads as a
+  // genuine zero pivot and gets its diagonal bumped.
+  fault::ScopedPlan plan("pivot_zero=7; pivot_zero=7");
+  sharding::ShardedFactorizer sharded(opt, sharded_campaign_group());
+  const FactorResult res = sharded.factorize(a);
+  EXPECT_EQ(res.pivot_perturbations, 1);
+  EXPECT_GE(res.recovery_retries, 2);
+  const std::vector<value_t> b = rhs(a.n, 5);
+  EXPECT_NO_THROW(SparseLU::solve(res, b));
 }
 
 TEST(ThreadPoolFaults, BodyExceptionsSurfaceOnTheSubmittingThread) {
