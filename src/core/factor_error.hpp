@@ -21,6 +21,7 @@ enum class FaultKind {
   ZeroPivot,          ///< a pivot stayed zero/NaN through perturbation
   QuotaExceeded,      ///< service admission: tenant over its quota
   Rejected,           ///< service admission: queue bound / shutdown
+  StructurallySingular,  ///< no perfect matching covers the diagonal
 };
 
 inline const char* fault_kind_name(FaultKind kind) {
@@ -30,6 +31,7 @@ inline const char* fault_kind_name(FaultKind kind) {
     case FaultKind::ZeroPivot: return "ZeroPivot";
     case FaultKind::QuotaExceeded: return "QuotaExceeded";
     case FaultKind::Rejected: return "Rejected";
+    case FaultKind::StructurallySingular: return "StructurallySingular";
   }
   return "Unknown";
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "matrix/convert.hpp"
+#include "preprocess/parallel/parallel_preprocess.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 #include "trace/metrics.hpp"
@@ -60,41 +61,98 @@ FactorResult SparseLU::factorize_impl(const Csr& a_in,
                          {"nnz", a_in.nnz()},
                          {"mode", mode_name(options_.mode)}});
 
-  // ---- Pre-processing (Figure 2, first box; host-side as in the paper).
+  // ---- Pre-processing (Figure 2, first box). Serial mode is the
+  // paper's host-serial stage, modeled at a single host thread's
+  // throughput; GpuParallel routes matching / minimum-degree / scaling
+  // through the device (preprocess/parallel/). The permutation
+  // application and diagonal patch stay host-side in both modes and are
+  // accounted as the preprocess remainder.
+  const auto launch_count = [&dev] {
+    return dev.stats().host_launches + dev.stats().device_launches;
+  };
+  const bool par_pre =
+      options_.preprocess.mode == PreprocessMode::GpuParallel;
+  const double host_thread_rate = options_.host.ops_per_us_per_thread;
   WallTimer t_pre;
   Csr a = a_in;
   res.row_perm = identity_permutation(n);
   res.col_perm = identity_permutation(n);
+  std::uint64_t pre_other_ops = 0;
   {
     TRACE_SPAN("preprocess", dev);
+    // Sub-phase accounting: serial steps report counted ops at the
+    // single-thread host rate; parallel steps report device deltas.
+    const auto run_subphase = [&](PhaseReport& report, auto&& body) {
+      WallTimer t;
+      const double sim0 = dev.stats().sim_total_us();
+      const std::uint64_t ops0 = dev.stats().kernel_ops;
+      const std::uint64_t launches0 = launch_count();
+      std::uint64_t serial_ops = 0;
+      body(serial_ops);
+      report.ops =
+          serial_ops + (dev.stats().kernel_ops - ops0);
+      report.launches = launch_count() - launches0;
+      report.sim_us = (dev.stats().sim_total_us() - sim0) +
+                      static_cast<double>(serial_ops) / host_thread_rate;
+      report.wall_ms = t.millis();
+    };
+
+    if (options_.preprocess.equilibrate && !a.values.empty()) {
+      run_subphase(res.preprocess_scale, [&](std::uint64_t& ops) {
+        res.scaling = par_pre ? preprocess::parallel_equilibrate(dev, a)
+                              : equilibrate(a, &ops);
+      });
+    }
     if (options_.match_diagonal && !has_full_diagonal(a)) {
-      const Permutation q = diagonal_matching(a);
-      a = permute(a, res.row_perm, q);
-      res.col_perm = q;
+      run_subphase(res.preprocess_match, [&](std::uint64_t& ops) {
+        const Permutation q =
+            par_pre ? preprocess::parallel_diagonal_matching(
+                          dev, a, options_.preprocess)
+                    : diagonal_matching(a, &ops);
+        a = permute(a, res.row_perm, q);
+        res.col_perm = q;
+        pre_other_ops += static_cast<std::uint64_t>(a.nnz());  // permute
+      });
     }
     if (options_.ordering != Ordering::None) {
-      const Permutation p = options_.ordering == Ordering::Rcm
-                                ? rcm_ordering(a)
-                                : min_degree_ordering(a);
-      a = permute(a, p, p);
-      // a(i,j) = a_in(p[i], col_perm[p[j]]).
-      Permutation composed(static_cast<std::size_t>(n));
-      for (index_t k = 0; k < n; ++k) composed[k] = res.col_perm[p[k]];
-      res.row_perm = p;
-      res.col_perm = std::move(composed);
+      run_subphase(res.preprocess_order, [&](std::uint64_t& ops) {
+        Permutation p;
+        if (options_.ordering == Ordering::Rcm) {
+          p = rcm_ordering(a, &ops);
+        } else if (par_pre) {
+          p = preprocess::parallel_min_degree_ordering(dev, a,
+                                                       options_.preprocess);
+        } else {
+          MinDegreeStats st;
+          p = min_degree_ordering(a, options_.preprocess, &st);
+          ops = st.ops;
+        }
+        a = permute(a, p, p);
+        pre_other_ops += static_cast<std::uint64_t>(a.nnz());  // permute
+        // a(i,j) = a_in(p[i], col_perm[p[j]]).
+        Permutation composed(static_cast<std::size_t>(n));
+        for (index_t k = 0; k < n; ++k) composed[k] = res.col_perm[p[k]];
+        res.row_perm = p;
+        res.col_perm = std::move(composed);
+      });
     }
     if (options_.diag_patch.has_value()) {
       patch_zero_diagonal(a, *options_.diag_patch);
+      pre_other_ops += static_cast<std::uint64_t>(a.nnz());
     }
   }
   res.preprocess.wall_ms = t_pre.millis();
-  res.preprocess.ops = static_cast<std::uint64_t>(a.nnz());
-  res.preprocess.sim_us = options_.host.time_us(res.preprocess.ops);
+  res.preprocess.ops = res.preprocess_match.ops + res.preprocess_order.ops +
+                       res.preprocess_scale.ops + pre_other_ops;
+  res.preprocess.launches = res.preprocess_match.launches +
+                            res.preprocess_order.launches +
+                            res.preprocess_scale.launches;
+  res.preprocess.sim_us =
+      res.preprocess_match.sim_us + res.preprocess_order.sim_us +
+      res.preprocess_scale.sim_us +
+      static_cast<double>(pre_other_ops) / host_thread_rate;
 
   // ---- Symbolic factorization (§3.2).
-  const auto launch_count = [&dev] {
-    return dev.stats().host_launches + dev.stats().device_launches;
-  };
   WallTimer t_sym;
   double sim_before = dev.stats().sim_total_us();
   std::uint64_t launches_before = launch_count();
@@ -376,14 +434,24 @@ void upper_solve(const Csr& u, std::vector<value_t>& x) {
 std::vector<value_t> SparseLU::solve(const FactorResult& f,
                                      std::span<const value_t> b) {
   E2ELU_CHECK(b.size() == static_cast<std::size_t>(f.n));
-  // Factorized B(i,j) = A(row_perm[i], col_perm[j]) = (LU)(i,j).
-  // A x = b  <=>  B y = c with c[i] = b[row_perm[i]], x[col_perm[j]] = y[j].
+  // Factorized B(i,j) = As(row_perm[i], col_perm[j]) = (LU)(i,j), where
+  // As = Dr A Dc when equilibration ran (Dr, Dc diagonal) and As = A
+  // otherwise. A x = b <=> As z = Dr b with x = Dc z, so:
+  //   c[i] = row_scale[row_perm[i]] * b[row_perm[i]],
+  //   x[col_perm[j]] = col_scale[col_perm[j]] * y[j].
+  const bool scaled = f.scaling.enabled();
   std::vector<value_t> y(static_cast<std::size_t>(f.n));
-  for (index_t i = 0; i < f.n; ++i) y[i] = b[f.row_perm[i]];
+  for (index_t i = 0; i < f.n; ++i) {
+    const index_t i0 = f.row_perm[i];
+    y[i] = scaled ? f.scaling.row_scale[i0] * b[i0] : b[i0];
+  }
   lower_solve_unit(f.l, y);
   upper_solve(f.u, y);
   std::vector<value_t> x(static_cast<std::size_t>(f.n));
-  for (index_t j = 0; j < f.n; ++j) x[f.col_perm[j]] = y[j];
+  for (index_t j = 0; j < f.n; ++j) {
+    const index_t j0 = f.col_perm[j];
+    x[j0] = scaled ? f.scaling.col_scale[j0] * y[j] : y[j];
+  }
   return x;
 }
 

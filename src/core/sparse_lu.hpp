@@ -78,6 +78,12 @@ struct Options {
   ThreadPool* pool = nullptr;
 
   Ordering ordering = Ordering::Rcm;
+  /// Pre-processing execution mode + knobs. PreprocessMode::Serial is the
+  /// paper's host-serial stage (modeled at one host thread's throughput);
+  /// PreprocessMode::GpuParallel runs matching, minimum-degree ordering,
+  /// and equilibration as kernels on the job's device
+  /// (preprocess/parallel/).
+  PreprocessOptions preprocess;
   /// Inter-column dependency detection for levelization; Symmetrized is
   /// GLU3.0's cheap safe rule, DoubleU the exact (original-GLU) rule that
   /// yields shallower schedules at higher detection cost.
@@ -123,6 +129,15 @@ struct FactorResult {
   index_t recovery_retries = 0;      ///< total phase retries of any kind
 
   PhaseReport preprocess, symbolic, levelize, numeric;
+  /// Pre-processing sub-phases. They tile `preprocess` together with its
+  /// host-side remainder (permutation application + diagonal patching):
+  /// preprocess.sim_us = preprocess_match.sim_us + preprocess_order.sim_us
+  /// + preprocess_scale.sim_us + remainder, and the same for ops. Phases
+  /// that did not run report zeros.
+  PhaseReport preprocess_match, preprocess_order, preprocess_scale;
+  /// Equilibration scales (empty unless PreprocessOptions::equilibrate).
+  /// solve() un-does them around the triangular solves.
+  Scaling scaling;
   gpusim::DeviceStats device_stats;  ///< whole-pipeline device counters
 
   double total_sim_us() const {

@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
+#include "core/factor_error.hpp"
 #include "preprocess/preprocess.hpp"
 #include "support/check.hpp"
 #include "trace/trace.hpp"
@@ -20,12 +22,14 @@ namespace {
 
 // Kuhn's augmenting path search from row `i`.
 bool augment(const Csr& a, index_t i, std::vector<index_t>& col_to_row,
-             std::vector<index_t>& visited_stamp, index_t stamp) {
+             std::vector<index_t>& visited_stamp, index_t stamp,
+             std::uint64_t& work) {
   for (index_t j : a.row_cols(i)) {
+    ++work;
     if (visited_stamp[j] == stamp) continue;
     visited_stamp[j] = stamp;
     if (col_to_row[j] < 0 || augment(a, col_to_row[j], col_to_row,
-                                     visited_stamp, stamp)) {
+                                     visited_stamp, stamp, work)) {
       col_to_row[j] = i;
       return true;
     }
@@ -35,8 +39,9 @@ bool augment(const Csr& a, index_t i, std::vector<index_t>& col_to_row,
 
 }  // namespace
 
-Permutation diagonal_matching(const Csr& a) {
+Permutation diagonal_matching(const Csr& a, std::uint64_t* ops) {
   TRACE_SPAN("preprocess.matching", {{"n", a.n}, {"nnz", a.nnz()}});
+  std::uint64_t work = 0;
   std::vector<index_t> col_to_row(a.n, -1);
   std::vector<index_t> row_matched(a.n, 0);
 
@@ -52,6 +57,7 @@ Permutation diagonal_matching(const Csr& a) {
     index_t best = -1;
     value_t best_mag = -1;
     const auto cols = a.row_cols(i);
+    work += cols.size();
     for (std::size_t k = 0; k < cols.size(); ++k) {
       if (col_to_row[cols[k]] >= 0) continue;
       const value_t mag =
@@ -67,13 +73,38 @@ Permutation diagonal_matching(const Csr& a) {
     }
   }
 
-  // Complete the matching with augmenting paths.
+  // Complete the matching with augmenting paths. A row whose search fails
+  // stays unmatched forever (if no augmenting path exists w.r.t. the
+  // current matching, later augmentations cannot create one), so keep
+  // going and report every uncoverable column at once.
   std::vector<index_t> visited_stamp(a.n, -1);
+  std::vector<index_t> unmatched_rows;
   for (index_t i = 0; i < a.n; ++i) {
     if (row_matched[i]) continue;
-    E2ELU_CHECK_MSG(augment(a, i, col_to_row, visited_stamp, i),
-                    "matrix is structurally singular: no perfect matching "
-                    "covers row " << i);
+    if (!augment(a, i, col_to_row, visited_stamp, i, work)) {
+      unmatched_rows.push_back(i);
+    }
+  }
+  if (ops) *ops += work;
+
+  if (!unmatched_rows.empty()) {
+    // The uncoverable *columns* are the ones no row claimed; they are
+    // what the caller can act on (the diagonal positions that stay
+    // structurally zero under every column permutation).
+    std::vector<index_t> unmatched_cols;
+    for (index_t j = 0; j < a.n; ++j) {
+      if (col_to_row[j] < 0) unmatched_cols.push_back(j);
+    }
+    std::ostringstream msg;
+    msg << "no perfect matching covers the diagonal; " << unmatched_cols.size()
+        << " column(s) unmatched:";
+    for (std::size_t k = 0; k < unmatched_cols.size() && k < 16; ++k) {
+      msg << ' ' << unmatched_cols[k];
+    }
+    if (unmatched_cols.size() > 16) msg << " ...";
+    throw FactorError(FaultKind::StructurallySingular, "preprocess",
+                      msg.str(),
+                      unmatched_cols.empty() ? -1 : unmatched_cols.front());
   }
 
   // col_to_row[j] = i means entry (i,j) goes on the diagonal; the column

@@ -5,105 +5,31 @@
 #include <queue>
 #include <set>
 
-#include "matrix/convert.hpp"
 #include "preprocess/preprocess.hpp"
+#include "preprocess/sym_graph.hpp"
 #include "support/check.hpp"
 #include "trace/trace.hpp"
 
 namespace e2elu {
 
-namespace {
+using preprocess::SymGraph;
+using preprocess::rcm_on_graph;
 
-// Adjacency of A + A^T without self-loops, in CSR arrays.
-struct SymGraph {
-  std::vector<offset_t> ptr;
-  std::vector<index_t> adj;
-};
-
-SymGraph symmetrize(const Csr& a) {
-  const Csr at = transpose(a);
-  SymGraph g;
-  g.ptr.assign(static_cast<std::size_t>(a.n) + 1, 0);
-  // Two-pointer merge of row i of A and row i of A^T.
-  auto merge_row = [&](index_t i, auto&& emit) {
-    const auto ra = a.row_cols(i);
-    const auto rt = at.row_cols(i);
-    std::size_t x = 0, y = 0;
-    while (x < ra.size() || y < rt.size()) {
-      index_t v;
-      if (y == rt.size() || (x < ra.size() && ra[x] < rt[y])) {
-        v = ra[x++];
-      } else if (x == ra.size() || rt[y] < ra[x]) {
-        v = rt[y++];
-      } else {
-        v = ra[x];
-        ++x;
-        ++y;
-      }
-      if (v != i) emit(v);
-    }
-  };
-  for (index_t i = 0; i < a.n; ++i) {
-    offset_t cnt = 0;
-    merge_row(i, [&](index_t) { ++cnt; });
-    g.ptr[i + 1] = g.ptr[i] + cnt;
-  }
-  g.adj.resize(g.ptr.back());
-  for (index_t i = 0; i < a.n; ++i) {
-    offset_t w = g.ptr[i];
-    merge_row(i, [&](index_t v) { g.adj[w++] = v; });
-  }
-  return g;
-}
-
-}  // namespace
-
-Permutation rcm_ordering(const Csr& a) {
+Permutation rcm_ordering(const Csr& a, std::uint64_t* ops) {
   TRACE_SPAN("preprocess.ordering", {{"method", "rcm"}, {"n", a.n}});
-  const SymGraph g = symmetrize(a);
-  const index_t n = a.n;
-  std::vector<index_t> degree(n);
-  for (index_t i = 0; i < n; ++i) {
-    degree[i] = static_cast<index_t>(g.ptr[i + 1] - g.ptr[i]);
-  }
-
-  Permutation order;
-  order.reserve(n);
-  std::vector<bool> placed(n, false);
-  std::vector<index_t> nbrs;
-
-  for (index_t seed_scan = 0; seed_scan < n; ++seed_scan) {
-    if (placed[seed_scan]) continue;
-    // Start each component from a minimum-degree vertex in it (cheap
-    // pseudo-peripheral substitute).
-    index_t seed = seed_scan;
-    std::queue<index_t> bfs;
-    bfs.push(seed);
-    placed[seed] = true;
-    order.push_back(seed);
-    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
-      const index_t u = order[head];
-      nbrs.clear();
-      for (offset_t k = g.ptr[u]; k < g.ptr[u + 1]; ++k) {
-        const index_t v = g.adj[k];
-        if (!placed[v]) {
-          placed[v] = true;
-          nbrs.push_back(v);
-        }
-      }
-      std::sort(nbrs.begin(), nbrs.end(), [&](index_t x, index_t y) {
-        return degree[x] < degree[y];
-      });
-      order.insert(order.end(), nbrs.begin(), nbrs.end());
-    }
-  }
-  std::reverse(order.begin(), order.end());  // the "reverse" in RCM
+  std::uint64_t work = 2 * static_cast<std::uint64_t>(a.nnz());  // symmetrize
+  const SymGraph g = preprocess::symmetrize(a);
+  std::vector<bool> skip(a.n, false);
+  Permutation order = rcm_on_graph(g, a.n, skip, work);
+  if (ops) *ops += work;
   return order;
 }
 
-Permutation min_degree_ordering(const Csr& a) {
+Permutation min_degree_ordering(const Csr& a, const PreprocessOptions& opt,
+                                MinDegreeStats* stats) {
   TRACE_SPAN("preprocess.ordering", {{"method", "min_degree"}, {"n", a.n}});
-  const SymGraph g = symmetrize(a);
+  std::uint64_t work = 2 * static_cast<std::uint64_t>(a.nnz());  // symmetrize
+  const SymGraph g = preprocess::symmetrize(a);
   const index_t n = a.n;
 
   // Elimination graph as per-vertex sorted neighbor sets. Greedy minimum
@@ -112,6 +38,15 @@ Permutation min_degree_ordering(const Csr& a) {
   for (index_t i = 0; i < n; ++i) {
     adj[i].insert(g.adj.begin() + g.ptr[i], g.adj.begin() + g.ptr[i + 1]);
   }
+
+  // Densification guard: clique formation makes the explicit elimination
+  // graph O(fill) in the worst case. Track the live adjacency-entry count
+  // and bail out to RCM once it exceeds densify_cap x nnz(A + A^T).
+  std::size_t live = g.adj.size();
+  std::size_t peak = live;
+  const double cap =
+      opt.densify_cap *
+      static_cast<double>(std::max<std::size_t>(g.adj.size(), 64));
 
   using Entry = std::pair<index_t, index_t>;  // (degree, vertex)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
@@ -122,11 +57,17 @@ Permutation min_degree_ordering(const Csr& a) {
   Permutation order;
   order.reserve(n);
   std::vector<bool> eliminated(n, false);
+  index_t fallback_at = -1;
   while (!heap.empty()) {
     const auto [deg, v] = heap.top();
     heap.pop();
+    ++work;
     if (eliminated[v] || deg != static_cast<index_t>(adj[v].size())) {
       continue;  // stale entry
+    }
+    if (static_cast<double>(live) > cap) {
+      fallback_at = static_cast<index_t>(order.size());
+      break;
     }
     eliminated[v] = true;
     order.push_back(v);
@@ -134,12 +75,29 @@ Permutation min_degree_ordering(const Csr& a) {
     std::vector<index_t> nbrs(adj[v].begin(), adj[v].end());
     for (index_t u : nbrs) {
       adj[u].erase(v);
+      --live;
       for (index_t w : nbrs) {
-        if (w != u && !eliminated[w]) adj[u].insert(w);
+        ++work;
+        if (w != u && !eliminated[w]) live += adj[u].insert(w).second;
       }
       heap.emplace(static_cast<index_t>(adj[u].size()), u);
     }
+    live -= adj[v].size();
+    work += adj[v].size();
     adj[v].clear();
+    peak = std::max(peak, live);
+  }
+
+  if (fallback_at >= 0) {
+    const Permutation tail = rcm_on_graph(g, n, eliminated, work);
+    order.insert(order.end(), tail.begin(), tail.end());
+  }
+  E2ELU_CHECK(static_cast<index_t>(order.size()) == n);
+
+  if (stats) {
+    stats->peak_adjacency = peak;
+    stats->rcm_fallback_at = fallback_at;
+    stats->ops = work;
   }
   return order;
 }

@@ -1,0 +1,57 @@
+// GPU-side pre-processing (PreprocessMode::GpuParallel): the last
+// host-serial stage of the paper's Figure 2 pipeline, moved onto the
+// simulated device.
+//
+// Three phases, all executed as gpusim kernels with launch/ops accounting
+// so the trace layer's per-phase deltas and the JobReport phase tiling
+// see the preprocess share directly:
+//
+//   * parallel_min_degree_ordering — approximate minimum degree after
+//     Chang, Buluc & Demmel: each round selects a *distance-2 independent
+//     set* of near-minimum-degree pivots (no two share a neighbor, so
+//     their clique updates are write-disjoint) and eliminates them
+//     simultaneously, with hash-based supernode (indistinguishable
+//     vertex) detection merging mass-eliminable vertices. Element
+//     absorption is eager: the explicit elimination graph folds a
+//     pivot's adjacency into its neighbors at elimination time.
+//   * parallel_diagonal_matching — MC64-lite as rounds of parallel
+//     propose/dispose (greedy seeding) followed by rounds of parallel
+//     augmenting-path searches with a commutative atomic claim on column
+//     ownership and retry for losers.
+//   * parallel_equilibrate — row/col max-reduction and scaling kernels,
+//     bit-identical to the serial equilibrate().
+//
+// Determinism rule (DESIGN.md 6i): every cross-block interaction is
+// either write-disjoint (guaranteed by distance-2 independence / one
+// block per owner) or a commutative idempotent reduction (min/max), so a
+// fixed PreprocessOptions::seed yields identical permutations run-to-run
+// regardless of the pool's execution order — test-enforced.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "preprocess/preprocess.hpp"
+
+namespace e2elu::preprocess {
+
+/// Distance-2 independent-set approximate minimum degree on the
+/// symmetrized pattern of `a`, executed on `dev`. Ordering quality is
+/// audited against the serial min_degree_ordering oracle (same-or-better
+/// fill within the bench gate's band); ties are broken by the seeded
+/// priority hash, then by vertex id. The densify_cap guard falls back to
+/// RCM exactly as the serial version does.
+Permutation parallel_min_degree_ordering(gpusim::Device& dev, const Csr& a,
+                                         const PreprocessOptions& opt = {},
+                                         MinDegreeStats* stats = nullptr);
+
+/// MC64-lite diagonal matching on `dev`. Returns the same kind of column
+/// permutation as the serial diagonal_matching (full structural diagonal,
+/// large magnitudes preferred); throws FactorError{StructurallySingular}
+/// naming the uncoverable columns otherwise.
+Permutation parallel_diagonal_matching(gpusim::Device& dev, const Csr& a,
+                                       const PreprocessOptions& opt = {});
+
+/// Row/column equilibration on `dev`; bit-identical scales and values to
+/// the serial equilibrate() (each element sees the same two multiplies).
+Scaling parallel_equilibrate(gpusim::Device& dev, Csr& a);
+
+}  // namespace e2elu::preprocess

@@ -1,0 +1,156 @@
+// Parallel equilibration: row/col max-reduction and scaling kernels.
+//
+// Bit-identical to the serial equilibrate(): every element sees the same
+// two multiplies (row scale, then column scale), and the column maxima
+// are formed by a commutative atomic max — non-negative doubles compare
+// identically to their IEEE-754 bit patterns, so the reduction is an
+// integer fetch-max and its result does not depend on arrival order
+// (DESIGN.md 6i).
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device_buffer.hpp"
+#include "preprocess/parallel/parallel_preprocess.hpp"
+#include "support/check.hpp"
+#include "trace/trace.hpp"
+
+namespace e2elu::preprocess {
+
+namespace {
+
+constexpr std::int64_t kRowsPerBlock = 256;
+
+std::int64_t blocks_for(std::int64_t count) {
+  return std::max<std::int64_t>(1, (count + kRowsPerBlock - 1) /
+                                       kRowsPerBlock);
+}
+
+}  // namespace
+
+Scaling parallel_equilibrate(gpusim::Device& dev, Csr& a) {
+  E2ELU_CHECK_MSG(!a.values.empty() || a.n == 0,
+                  "cannot equilibrate a pattern-only matrix");
+  TRACE_SPAN("preprocess.scaling", dev, {{"n", a.n}, {"nnz", a.nnz()}});
+  Scaling s;
+  s.row_scale.assign(a.n, value_t{1});
+  s.col_scale.assign(a.n, value_t{1});
+  const index_t n = a.n;
+  if (n == 0) return s;
+
+  // Values travel to the device, get scaled there, and come back.
+  gpusim::DeviceBuffer<value_t> d_vals(
+      dev, std::span<const value_t>(a.values));
+  gpusim::DeviceBuffer<value_t> d_scales(dev,
+                                         2 * static_cast<std::size_t>(n));
+
+  const double avg_len =
+      static_cast<double>(a.nnz()) / std::max<index_t>(n, 1);
+  const double warp_eff = dev.spec().simt_efficiency(std::max(avg_len, 1.0));
+  const std::int64_t vert_blocks = blocks_for(n);
+
+  // scale.row: each block owns a slice of rows — max then scale in place.
+  dev.launch({.name = "scale.row",
+              .blocks = vert_blocks,
+              .threads_per_block = static_cast<int>(kRowsPerBlock),
+              .warp_efficiency = warp_eff},
+             [&](std::int64_t b, gpusim::KernelContext& ctx) {
+               const index_t lo = static_cast<index_t>(b * kRowsPerBlock);
+               const index_t hi = std::min<index_t>(
+                   n, lo + static_cast<index_t>(kRowsPerBlock));
+               std::uint64_t work = 0;
+               for (index_t i = lo; i < hi; ++i) {
+                 value_t row_max = 0;
+                 for (value_t v : a.row_vals(i)) {
+                   row_max = std::max(row_max, std::abs(v));
+                 }
+                 if (row_max > 0) s.row_scale[i] = value_t{1} / row_max;
+                 for (value_t& v : a.row_vals(i)) v *= s.row_scale[i];
+                 work += 2 * a.row_cols(i).size();
+               }
+               ctx.add_ops(work);
+             });
+
+  // scale.colmax: commutative atomic max over the scaled magnitudes.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> col_max_bits(
+      new std::atomic<std::uint64_t>[static_cast<std::size_t>(n)]);
+  for (index_t j = 0; j < n; ++j) {
+    col_max_bits[j].store(0, std::memory_order_relaxed);
+  }
+  dev.launch({.name = "scale.colmax",
+              .blocks = vert_blocks,
+              .threads_per_block = static_cast<int>(kRowsPerBlock),
+              .warp_efficiency = warp_eff},
+             [&](std::int64_t b, gpusim::KernelContext& ctx) {
+               const index_t lo = static_cast<index_t>(b * kRowsPerBlock);
+               const index_t hi = std::min<index_t>(
+                   n, lo + static_cast<index_t>(kRowsPerBlock));
+               std::uint64_t work = 0;
+               for (index_t i = lo; i < hi; ++i) {
+                 const auto cols = a.row_cols(i);
+                 const auto vals = a.row_vals(i);
+                 work += cols.size();
+                 for (std::size_t k = 0; k < cols.size(); ++k) {
+                   const std::uint64_t bits =
+                       std::bit_cast<std::uint64_t>(std::abs(vals[k]));
+                   auto& slot = col_max_bits[cols[k]];
+                   std::uint64_t cur =
+                       slot.load(std::memory_order_relaxed);
+                   while (bits > cur &&
+                          !slot.compare_exchange_weak(
+                              cur, bits, std::memory_order_relaxed)) {
+                   }
+                 }
+               }
+               ctx.add_ops(work);
+             });
+
+  // scale.colscale: reciprocal per column, own slot per block.
+  dev.launch({.name = "scale.colscale",
+              .blocks = vert_blocks,
+              .threads_per_block = static_cast<int>(kRowsPerBlock)},
+             [&](std::int64_t b, gpusim::KernelContext& ctx) {
+               const index_t lo = static_cast<index_t>(b * kRowsPerBlock);
+               const index_t hi = std::min<index_t>(
+                   n, lo + static_cast<index_t>(kRowsPerBlock));
+               for (index_t j = lo; j < hi; ++j) {
+                 const value_t col_max = std::bit_cast<value_t>(
+                     col_max_bits[j].load(std::memory_order_relaxed));
+                 if (col_max > 0) s.col_scale[j] = value_t{1} / col_max;
+               }
+               ctx.add_ops(static_cast<std::uint64_t>(hi - lo));
+             });
+
+  // scale.col: apply column scales row-slice-wise (reads col_scale,
+  // writes each block's own rows).
+  dev.launch({.name = "scale.col",
+              .blocks = vert_blocks,
+              .threads_per_block = static_cast<int>(kRowsPerBlock),
+              .warp_efficiency = warp_eff},
+             [&](std::int64_t b, gpusim::KernelContext& ctx) {
+               const index_t lo = static_cast<index_t>(b * kRowsPerBlock);
+               const index_t hi = std::min<index_t>(
+                   n, lo + static_cast<index_t>(kRowsPerBlock));
+               std::uint64_t work = 0;
+               for (index_t i = lo; i < hi; ++i) {
+                 const auto cols = a.row_cols(i);
+                 auto vals = a.row_vals(i);
+                 work += cols.size();
+                 for (std::size_t k = 0; k < cols.size(); ++k) {
+                   vals[k] *= s.col_scale[cols[k]];
+                 }
+               }
+               ctx.add_ops(work);
+             });
+
+  // Scaled values return to the host copy of the matrix (the kernels
+  // above already wrote them in place; this charges the transfer).
+  dev.copy_d2h(a.values.size() * sizeof(value_t));
+  return s;
+}
+
+}  // namespace e2elu::preprocess

@@ -61,8 +61,10 @@ Csr permute(const Csr& a, const Permutation& row_perm,
   return out;
 }
 
-Scaling equilibrate(Csr& a) {
+Scaling equilibrate(Csr& a, std::uint64_t* ops) {
   E2ELU_CHECK_MSG(!a.values.empty(), "cannot equilibrate a pattern-only matrix");
+  // Two max-reduction passes + two scaling passes over the values.
+  if (ops) *ops += 4 * static_cast<std::uint64_t>(a.nnz());
   Scaling s;
   s.row_scale.assign(a.n, value_t{1});
   s.col_scale.assign(a.n, value_t{1});

@@ -13,6 +13,7 @@
 //      the trick §4.4 uses to make the Table 4 matrices factorizable.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "matrix/csr.hpp"
@@ -22,6 +23,65 @@ namespace e2elu {
 /// A permutation vector p: new index -> old index. p[k] = old position of
 /// the element now at position k.
 using Permutation = std::vector<index_t>;
+
+/// Where the pre-processing phase executes.
+///
+/// Serial is the paper's host-serial stage (single-threaded, modeled at
+/// one host thread's throughput) and doubles as the quality oracle the
+/// GPU path is audited against. GpuParallel runs diagonal matching,
+/// minimum-degree ordering, and equilibration as gpusim kernels
+/// (preprocess/parallel/): orderings may differ from the serial oracle
+/// only within tie-breaking and are gated to the same-or-better fill
+/// band; matchings must be full structural-diagonal permutations of
+/// comparable diagonal weight (bench/ext_preprocess enforces both).
+enum class PreprocessMode { Serial, GpuParallel };
+
+struct PreprocessOptions {
+  PreprocessMode mode = PreprocessMode::Serial;
+  /// Seed of the distance-2 independent-set priority hash. Fixed seed +
+  /// same device config => identical permutations run-to-run
+  /// (test-enforced): every cross-block interaction in the parallel
+  /// kernels is either write-disjoint or a commutative reduction, so the
+  /// pool's execution order never reaches the result.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Multiple-elimination window: a round's pivot candidates are the
+  /// vertices with degree <= (1 + degree_slack) * min_degree. Wider
+  /// windows eliminate more pivots per round (fewer rounds, more
+  /// parallelism) at some fill cost; the bench gate bounds that cost.
+  double degree_slack = 0.10;
+  /// Bounded multiple elimination: each round keeps only this fraction of
+  /// its distance-2 independent winners (smallest priority first, at
+  /// least one). 1.0 eliminates every winner; smaller fractions trade
+  /// rounds for a closer march to the serial oracle's one-at-a-time
+  /// re-pick when a pattern needs it (with weighted external degrees the
+  /// fig4 suite does not).
+  double round_elim_fraction = 1.0;
+  /// Elimination-graph densification cap, as a multiple of nnz(A + A^T):
+  /// once the live elimination graph exceeds it, minimum degree (serial
+  /// and parallel) stops and orders the remaining vertices by RCM — the
+  /// guard against the O(fill) worst-case blowup on dense-ish patterns.
+  double densify_cap = 8.0;
+  /// Run row/column equilibration before matching. The scale vectors ride
+  /// in FactorResult::scaling and are undone around the solves.
+  bool equilibrate = false;
+};
+
+/// Instrumentation of one minimum-degree run (serial or parallel) — what
+/// the densification-guard regression tests assert on.
+struct MinDegreeStats {
+  /// Peak number of live elimination-graph adjacency entries.
+  std::size_t peak_adjacency = 0;
+  /// Number of vertices eliminated by minimum degree before the
+  /// densification guard fell back to RCM; -1 when the guard never fired.
+  index_t rcm_fallback_at = -1;
+  /// Elimination-graph work items (set visits, merges) — the host-serial
+  /// cost model input.
+  std::uint64_t ops = 0;
+  /// Independent-set rounds (parallel mode only).
+  index_t rounds = 0;
+  /// Vertices absorbed into supernodes (parallel mode only).
+  index_t supernodes_merged = 0;
+};
 
 /// True iff p is a bijection on [0, n).
 bool is_permutation(const Permutation& p);
@@ -37,18 +97,23 @@ Csr permute(const Csr& a, const Permutation& row_perm,
 /// every diagonal, greedily preferring large-magnitude candidates
 /// (MC64-lite). Returns a column permutation q such that
 /// permute(a, identity, q) has a full structural diagonal. Throws
-/// e2elu::Error if the matrix is structurally singular.
-Permutation diagonal_matching(const Csr& a);
+/// FactorError{StructurallySingular} naming the uncoverable columns if
+/// the matrix is structurally singular. `ops` (optional) accumulates the
+/// work items performed — the host-serial cost model input.
+Permutation diagonal_matching(const Csr& a, std::uint64_t* ops = nullptr);
 
 /// Reverse Cuthill-McKee ordering on the symmetrized pattern A + A^T.
 /// Bandwidth-reducing, which bounds fill for the banded/FEM classes.
-Permutation rcm_ordering(const Csr& a);
+Permutation rcm_ordering(const Csr& a, std::uint64_t* ops = nullptr);
 
 /// Greedy minimum-degree ordering on the symmetrized pattern, with
 /// elimination-graph degree updates (quotient-graph-free, so O(fill)
-/// worst case — fine at the benchmark scales). Fill-reducing for the
+/// worst case). PreprocessOptions::densify_cap guards the blowup: past it
+/// the remaining vertices are ordered by RCM. Fill-reducing for the
 /// irregular/circuit classes.
-Permutation min_degree_ordering(const Csr& a);
+Permutation min_degree_ordering(const Csr& a,
+                                const PreprocessOptions& opt = {},
+                                MinDegreeStats* stats = nullptr);
 
 /// Row/column equilibration: scales each row then each column by the
 /// reciprocal of its max magnitude. Returns the scaled matrix; the scale
@@ -56,8 +121,10 @@ Permutation min_degree_ordering(const Csr& a);
 struct Scaling {
   std::vector<value_t> row_scale;
   std::vector<value_t> col_scale;
+
+  bool enabled() const { return !row_scale.empty(); }
 };
-Scaling equilibrate(Csr& a);
+Scaling equilibrate(Csr& a, std::uint64_t* ops = nullptr);
 
 /// Replaces zero-magnitude (or structurally missing) diagonal entries with
 /// `value` — the paper uses 1000 for the rank-deficient Table 4 matrices.

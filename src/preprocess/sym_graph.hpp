@@ -1,0 +1,101 @@
+// Adjacency of the symmetrized pattern A + A^T without self-loops, in
+// CSR arrays — the graph both fill-reducing orderings (serial and
+// parallel) eliminate on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "matrix/convert.hpp"
+#include "matrix/csr.hpp"
+
+namespace e2elu::preprocess {
+
+struct SymGraph {
+  std::vector<offset_t> ptr;
+  std::vector<index_t> adj;
+
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr[v + 1] - ptr[v]);
+  }
+};
+
+inline SymGraph symmetrize(const Csr& a) {
+  const Csr at = transpose(a);
+  SymGraph g;
+  g.ptr.assign(static_cast<std::size_t>(a.n) + 1, 0);
+  // Two-pointer merge of row i of A and row i of A^T.
+  auto merge_row = [&](index_t i, auto&& emit) {
+    const auto ra = a.row_cols(i);
+    const auto rt = at.row_cols(i);
+    std::size_t x = 0, y = 0;
+    while (x < ra.size() || y < rt.size()) {
+      index_t v;
+      if (y == rt.size() || (x < ra.size() && ra[x] < rt[y])) {
+        v = ra[x++];
+      } else if (x == ra.size() || rt[y] < ra[x]) {
+        v = rt[y++];
+      } else {
+        v = ra[x];
+        ++x;
+        ++y;
+      }
+      if (v != i) emit(v);
+    }
+  };
+  for (index_t i = 0; i < a.n; ++i) {
+    offset_t cnt = 0;
+    merge_row(i, [&](index_t) { ++cnt; });
+    g.ptr[i + 1] = g.ptr[i] + cnt;
+  }
+  g.adj.resize(g.ptr.back());
+  for (index_t i = 0; i < a.n; ++i) {
+    offset_t w = g.ptr[i];
+    merge_row(i, [&](index_t v) { g.adj[w++] = v; });
+  }
+  return g;
+}
+
+// Reverse Cuthill-McKee on a SymGraph: BFS component orders seeded from
+// each unplaced vertex in id order, neighbors visited in ascending-degree
+// (then id) order, whole order reversed. `skip[v]` vertices are excluded —
+// the minimum-degree densification guard uses this to order just the
+// still-uneliminated tail. `ops` counts edge visits.
+inline std::vector<index_t> rcm_on_graph(const SymGraph& g, index_t n,
+                                         const std::vector<bool>& skip,
+                                         std::uint64_t& ops) {
+  std::vector<index_t> degree(n);
+  for (index_t i = 0; i < n; ++i) degree[i] = g.degree(i);
+
+  std::vector<index_t> order;
+  std::vector<bool> placed = skip;
+  std::vector<index_t> nbrs;
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+    placed[seed] = true;
+    order.push_back(seed);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      const index_t u = order[head];
+      nbrs.clear();
+      for (offset_t k = g.ptr[u]; k < g.ptr[u + 1]; ++k) {
+        ++ops;
+        const index_t v = g.adj[k];
+        if (!placed[v]) {
+          placed[v] = true;
+          nbrs.push_back(v);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t x, index_t y) {
+        return degree[x] != degree[y] ? degree[x] < degree[y] : x < y;
+      });
+      ops += nbrs.size();
+      order.insert(order.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());  // the "reverse" in RCM
+  return order;
+}
+
+}  // namespace e2elu::preprocess

@@ -38,11 +38,20 @@ void Refactorizer::rebuild(const Csr& a) {
   const Permutation inv_row = invert_permutation(factors_.row_perm);
   const Permutation inv_col = invert_permutation(factors_.col_perm);
   value_map_.resize(static_cast<std::size_t>(a.nnz()));
+  entry_scale_.clear();
+  if (factors_.scaling.enabled()) {
+    entry_scale_.resize(static_cast<std::size_t>(a.nnz()));
+  }
   for (index_t i0 = 0; i0 < a.n; ++i0) {
     const index_t r = inv_row[i0];
     const auto cols = skeleton_.pattern.row_cols(r);
     for (offset_t k = a.row_ptr[i0]; k < a.row_ptr[i0 + 1]; ++k) {
-      const index_t c = inv_col[a.col_idx[k]];
+      const index_t j0 = a.col_idx[k];
+      if (!entry_scale_.empty()) {
+        entry_scale_[static_cast<std::size_t>(k)] =
+            factors_.scaling.row_scale[i0] * factors_.scaling.col_scale[j0];
+      }
+      const index_t c = inv_col[j0];
       const auto it = std::lower_bound(cols.begin(), cols.end(), c);
       E2ELU_CHECK_MSG(it != cols.end() && *it == c,
                       "filled pattern is missing permuted entry ("
@@ -158,7 +167,9 @@ RefactorReport Refactorizer::refactorize(const Csr& a_new) {
     std::fill(skeleton_.csc.values.begin(), skeleton_.csc.values.end(),
               value_t{0});
     for (std::size_t k = 0; k < value_map_.size(); ++k) {
-      const value_t v = a_new.values[k];
+      const value_t v = entry_scale_.empty()
+                            ? a_new.values[k]
+                            : a_new.values[k] * entry_scale_[k];
       skeleton_.csc.values[value_map_[k]] = v;
       max_abs_a = std::max(max_abs_a, std::abs(static_cast<double>(v)));
     }

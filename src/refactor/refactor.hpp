@@ -134,6 +134,11 @@ class Refactorizer {
   numeric::ReplayPlan replay_;
   /// a.values position -> cached CSC position, through the permutations.
   std::vector<offset_t> value_map_;
+  /// Per-entry equilibration factor row_scale[i0]*col_scale[j0] applied
+  /// during scatter, empty when the cached factorization was unscaled.
+  /// Replays reuse the *original* scales (static scaling), keeping the
+  /// cached factors and solve() consistent for same-pattern sequences.
+  std::vector<value_t> entry_scale_;
   std::optional<numeric::DeviceFactorMatrix> device_matrix_;
   std::optional<numeric::DeviceReplayPlan> device_replay_;
   RefactorStats stats_;

@@ -446,8 +446,39 @@ JobResult FactorService::run_cold(Job& job, std::size_t worker_id,
   r.sim_us = engine->factors().total_sim_us();
   r.factors = engine->factors();
   report.device = engine->factors().device_stats;
+  record_preprocess_breakdown(r.factors, report);
   if (opt_.cache_enabled) cache_.insert(job.a, std::move(engine));
   return r;
+}
+
+void FactorService::record_preprocess_breakdown(
+    const FactorResult& f, telemetry::JobReport& report) {
+  report.preprocess_match_us = f.preprocess_match.wall_ms * 1000.0;
+  report.preprocess_order_us = f.preprocess_order.wall_ms * 1000.0;
+  report.preprocess_scale_us = f.preprocess_scale.wall_ms * 1000.0;
+  // The sub-phases are disjoint subintervals of the preprocess stage;
+  // other is the measured remainder (permutation application, patching),
+  // and the total is re-formed as the exact sum so the sub-tiling
+  // invariant holds bit-for-bit like the top-level one.
+  const double sum = report.preprocess_match_us + report.preprocess_order_us +
+                     report.preprocess_scale_us;
+  report.preprocess_other_us =
+      std::max(0.0, f.preprocess.wall_ms * 1000.0 - sum);
+  report.preprocess_total_us = sum + report.preprocess_other_us;
+
+  auto& reg = trace::MetricsRegistry::global();
+  if (report.preprocess_match_us > 0) {
+    reg.histogram("service.preprocess_match_us")
+        .record(report.preprocess_match_us);
+  }
+  if (report.preprocess_order_us > 0) {
+    reg.histogram("service.preprocess_order_us")
+        .record(report.preprocess_order_us);
+  }
+  if (report.preprocess_scale_us > 0) {
+    reg.histogram("service.preprocess_scale_us")
+        .record(report.preprocess_scale_us);
+  }
 }
 
 JobResult FactorService::run_sharded(Job& job, std::size_t worker_id,
@@ -474,6 +505,7 @@ JobResult FactorService::run_sharded(Job& job, std::size_t worker_id,
   r.launches = launches_of(r.factors.device_stats);
   r.sim_us = r.factors.total_sim_us();
   report.device = r.factors.device_stats;
+  record_preprocess_breakdown(r.factors, report);
   report.sharded = true;
   report.sharded_devices = srep.devices_used;
 

@@ -238,6 +238,11 @@ class FactorService {
   /// Closes the report (tiling other_us/total_us), publishes the phase
   /// histograms + per-tenant labels, and runs SLO accounting.
   void finalize_report(telemetry::JobReport& report);
+  /// Copies the cold build's preprocess sub-phase walls into the report
+  /// (exact sub-tiling: total = match + order + scale + other) and
+  /// publishes the corresponding histograms.
+  static void record_preprocess_breakdown(const FactorResult& f,
+                                          telemetry::JobReport& report);
 
   FactorServiceOptions opt_;
   telemetry::SloTracker slo_;

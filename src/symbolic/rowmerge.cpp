@@ -1,13 +1,15 @@
 #include <algorithm>
 #include <bit>
 
+#include "preprocess/preprocess.hpp"
 #include "support/check.hpp"
 #include "symbolic/symbolic.hpp"
 
 namespace e2elu::symbolic {
 
-Csr symbolic_rowmerge(const Csr& a) {
+Csr symbolic_rowmerge(const Csr& a, std::uint64_t* ops) {
   const index_t n = a.n;
+  std::uint64_t work = 0;
   Csr out(n);
   out.col_idx.reserve(static_cast<std::size_t>(a.nnz()) * 2);
 
@@ -31,6 +33,7 @@ Csr symbolic_rowmerge(const Csr& a) {
     };
 
     for (index_t j : a.row_cols(i)) add(j);
+    work += a.row_cols(i).size();
 
     // Ascending merge over the below-diagonal part, picking up rows the
     // merges themselves introduce (their contributions are all > j, so a
@@ -42,6 +45,7 @@ Csr symbolic_rowmerge(const Csr& a) {
         for (offset_t p = upper_start[j]; p < out.row_ptr[j + 1]; ++p) {
           add(out.col_idx[p]);
         }
+        work += static_cast<std::uint64_t>(out.row_ptr[j + 1] - upper_start[j]);
         const int bit = j % 64;
         const std::uint64_t done =
             bit == 63 ? ~std::uint64_t{0}
@@ -55,8 +59,18 @@ Csr symbolic_rowmerge(const Csr& a) {
     const auto row_begin = out.col_idx.begin() + start;
     const auto it = std::upper_bound(row_begin, out.col_idx.end(), i);
     upper_start[i] = static_cast<offset_t>(it - out.col_idx.begin());
+    work += out.col_idx.size() - start;  // sort + emit
   }
+  if (ops) *ops += work;
   return out;
+}
+
+offset_t fill_of_ordering(const Csr& a, const std::vector<index_t>& p,
+                          std::uint64_t* ops) {
+  Csr pattern = a;
+  pattern.values.clear();  // permute/rowmerge only need the structure
+  if (ops) *ops += 2 * static_cast<std::uint64_t>(a.nnz());  // permute
+  return symbolic_rowmerge(permute(pattern, p, p), ops).nnz();
 }
 
 }  // namespace e2elu::symbolic

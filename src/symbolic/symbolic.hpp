@@ -96,11 +96,22 @@ Csr symbolic_elimination_oracle(const Csr& a);
 /// per-row reachability for low-fill matrices, but inherently sequential
 /// across rows (each row needs finished earlier rows), which is exactly
 /// why the GPU path uses fill2 instead. Used as a second oracle and to
-/// prepare the huge Table 4 inputs.
-Csr symbolic_rowmerge(const Csr& a);
+/// prepare the huge Table 4 inputs. `ops` (optional) accumulates the
+/// merge work performed (entries emitted, merge-scan visits).
+Csr symbolic_rowmerge(const Csr& a, std::uint64_t* ops = nullptr);
 
 /// Frontier profiler (Figure 3): returns, for every source row, the peak
 /// frontier size reached while traversing that row.
 std::vector<index_t> frontier_profile(const Csr& a);
+
+/// Fill-quality audit hook for ordering comparisons: nnz(L+U) of A
+/// symmetrically permuted by `p` (rowmerge oracle on the permuted
+/// pattern). The parallel-preprocessing bench gates the GPU AMD against
+/// the serial oracle with this number, and the parallel ordering's
+/// fill-quality gate uses it to pick between its AMD and RCM candidates.
+/// `ops` (optional) accumulates the merge work performed — the cost-model
+/// input when the count runs as a device kernel.
+offset_t fill_of_ordering(const Csr& a, const std::vector<index_t>& p,
+                          std::uint64_t* ops = nullptr);
 
 }  // namespace e2elu::symbolic

@@ -63,6 +63,23 @@ struct JobReport {
   double other_us = 0;         ///< remainder: dispatch, insertion, accounting
   double total_us = 0;         ///< admission -> completion, = sum of phases
 
+  /// Pre-processing sub-phase breakdown (wall, microseconds) of a cold
+  /// build: matching / ordering / scaling are measured disjoint
+  /// subintervals of the build's preprocess stage and other_us is defined
+  /// as the remainder (permutation application, diagonal patching), so
+  ///
+  ///   preprocess_total_us = preprocess_match_us + preprocess_order_us
+  ///                         + preprocess_scale_us + preprocess_other_us
+  ///
+  /// exactly, and preprocess_total_us is itself contained in build_us —
+  /// the top-level tiling invariant is untouched. All zero on warm
+  /// replays.
+  double preprocess_match_us = 0;
+  double preprocess_order_us = 0;
+  double preprocess_scale_us = 0;
+  double preprocess_other_us = 0;
+  double preprocess_total_us = 0;
+
   /// Simulated device+host time the job consumed, and this job's share of
   /// the device counters (a delta, not a cumulative snapshot).
   double sim_us = 0;

@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "core/factor_error.hpp"
 #include "matrix/convert.hpp"
 #include "matrix/generators.hpp"
 #include "preprocess/preprocess.hpp"
@@ -61,6 +62,31 @@ TEST(Permute, IdentityIsNoop) {
   EXPECT_EQ(a.values, b.values);
 }
 
+TEST(Permute, RoundTripThroughInverseIsIdentity) {
+  // permute(permute(A, p, q), p^-1, q^-1) == A, values included —
+  // composition with the inverse permutations is the identity.
+  const Csr a = gen_circuit(90, 4.5, 3, 9, 21);
+  const Permutation p = random_perm(90, 31);
+  const Permutation q = random_perm(90, 32);
+  const Csr b = permute(permute(a, p, q), invert_permutation(p),
+                        invert_permutation(q));
+  validate(b);
+  EXPECT_TRUE(same_pattern(a, b));
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Permute, EmptyAndSingletonMatrices) {
+  const Csr empty(0);
+  EXPECT_EQ(permute(empty, {}, {}).n, 0);
+  Coo coo;
+  coo.n = 1;
+  coo.add(0, 0, 7.0);
+  const Csr one = coo_to_csr(coo);
+  const Csr b = permute(one, {0}, {0});
+  EXPECT_TRUE(same_pattern(one, b));
+  EXPECT_EQ(one.values, b.values);
+}
+
 TEST(DiagonalMatching, RepairsShiftedDiagonal) {
   // Cyclic shift: entry (i, (i+1) mod n) — no structural diagonal at all.
   Coo coo;
@@ -85,6 +111,63 @@ TEST(DiagonalMatching, ThrowsOnStructuralSingularity) {
   coo.add(1, 0, 1.0);  // rows 1 and 2 both only hit column 0
   coo.add(2, 0, 1.0);
   EXPECT_THROW(diagonal_matching(coo_to_csr(coo)), Error);
+}
+
+TEST(DiagonalMatching, StructuredErrorNamesUnmatchedColumns) {
+  // Same structurally singular matrix as above, but asserting on the
+  // structured fields: clients match on kind/phase/column, not strings.
+  Coo coo;
+  coo.n = 3;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(2, 0, 1.0);
+  try {
+    diagonal_matching(coo_to_csr(coo));
+    FAIL() << "expected FactorError{StructurallySingular}";
+  } catch (const FactorError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::StructurallySingular);
+    EXPECT_EQ(e.phase(), "preprocess");
+    EXPECT_EQ(e.column(), 1);  // first uncoverable column
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 column(s) unmatched"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 2"), std::string::npos) << what;
+  }
+}
+
+TEST(DiagonalMatching, EmptyAndSingletonMatrices) {
+  EXPECT_TRUE(diagonal_matching(Csr(0)).empty());
+  Coo coo;
+  coo.n = 1;
+  coo.add(0, 0, 2.0);
+  EXPECT_EQ(diagonal_matching(coo_to_csr(coo)), Permutation{0});
+}
+
+TEST(DiagonalMatching, AlreadyDiagonalKeepsFullDiagonal) {
+  const Csr a = gen_banded(60, 6, 4.0, 19);
+  ASSERT_TRUE(has_full_diagonal(a));
+  const Permutation q = diagonal_matching(a);
+  EXPECT_TRUE(is_permutation(q));
+  Permutation id(60);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_TRUE(has_full_diagonal(permute(a, id, q)));
+}
+
+TEST(DiagonalMatching, HandlesFullyDenseRows) {
+  // Two fully dense rows competing with a shifted sparse remainder: the
+  // augmenting searches must route around the dense rows' greed.
+  Coo coo;
+  coo.n = 30;
+  for (index_t j = 0; j < 30; ++j) {
+    coo.add(0, j, 50.0 - j);
+    coo.add(1, j, 50.0 - j);
+  }
+  for (index_t i = 2; i < 30; ++i) coo.add(i, (i + 1) % 30, 2.0);
+  const Csr a = coo_to_csr(coo);
+  const Permutation q = diagonal_matching(a);
+  EXPECT_TRUE(is_permutation(q));
+  Permutation id(30);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_TRUE(has_full_diagonal(permute(a, id, q)));
 }
 
 TEST(DiagonalMatching, PrefersLargeMagnitudes) {
@@ -125,6 +208,57 @@ TEST(Ordering, ProducesValidPermutationsOnDisconnectedGraphs) {
   const Csr a = gen_blocked_planar(300, 30, 3.2, 4, 10);
   EXPECT_TRUE(is_permutation(rcm_ordering(a)));
   EXPECT_TRUE(is_permutation(min_degree_ordering(a)));
+}
+
+TEST(Ordering, EmptyAndSingletonMatrices) {
+  EXPECT_TRUE(rcm_ordering(Csr(0)).empty());
+  EXPECT_TRUE(min_degree_ordering(Csr(0)).empty());
+  Coo coo;
+  coo.n = 1;
+  coo.add(0, 0, 1.0);
+  const Csr one = coo_to_csr(coo);
+  EXPECT_EQ(rcm_ordering(one), Permutation{0});
+  EXPECT_EQ(min_degree_ordering(one), Permutation{0});
+}
+
+/// Dense-ish random pattern: elimination-graph min-degree densifies
+/// quadratically on it. Regression fixture for the densification guard.
+Csr denseish_random(index_t n, int extra_per_row, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo;
+  coo.n = n;
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0);
+    for (int k = 0; k < extra_per_row; ++k) {
+      const auto j = static_cast<index_t>(rng.next_below(n));
+      if (j != i) coo.add(i, j, 1.0);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+TEST(Ordering, DensifyGuardBoundsEliminationBlowup) {
+  const Csr a = denseish_random(160, 6, 4242);
+
+  // Without the guard (cap effectively infinite) the live elimination
+  // graph densifies to a large fraction of n^2 — the failing-before
+  // behavior this guard exists to stop.
+  PreprocessOptions unguarded;
+  unguarded.densify_cap = 1e9;
+  MinDegreeStats before;
+  ASSERT_TRUE(is_permutation(min_degree_ordering(a, unguarded, &before)));
+  EXPECT_EQ(before.rcm_fallback_at, -1);
+
+  PreprocessOptions guarded;
+  guarded.densify_cap = 1.5;  // trips partway through this fixture
+  MinDegreeStats after;
+  const Permutation p = min_degree_ordering(a, guarded, &after);
+  EXPECT_TRUE(is_permutation(p));
+  EXPECT_GE(after.rcm_fallback_at, 0);
+  EXPECT_LT(after.rcm_fallback_at, a.n);
+  // The guard caps the peak near densify_cap * nnz(A+At); unguarded it
+  // blows past that.
+  EXPECT_LT(after.peak_adjacency, before.peak_adjacency / 2);
 }
 
 TEST(Equilibrate, BoundsMagnitudesByOne) {

@@ -1,0 +1,404 @@
+// GPU-parallel pre-processing (preprocess/parallel/): serial-vs-parallel
+// equivalence (matching validity, fill quality, bit-identical scaling),
+// determinism across thread-pool sizes (the DESIGN.md 6i rule), the
+// structured StructurallySingular error, the densification guard on the
+// parallel path, and the end-to-end pipeline under
+// PreprocessMode::GpuParallel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/factor_error.hpp"
+#include "core/sparse_lu.hpp"
+#include "gpusim/device.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generators.hpp"
+#include "preprocess/parallel/parallel_preprocess.hpp"
+#include "preprocess/preprocess.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace e2elu {
+namespace {
+
+using preprocess::parallel_diagonal_matching;
+using preprocess::parallel_equilibrate;
+using preprocess::parallel_min_degree_ordering;
+
+gpusim::Device test_device() {
+  return gpusim::Device(gpusim::DeviceSpec::v100_with_memory(64u << 20));
+}
+
+Permutation random_perm(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  for (index_t i = n - 1; i > 0; --i) {
+    std::swap(p[i], p[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  return p;
+}
+
+Permutation identity_perm(index_t n) {
+  Permutation id(static_cast<std::size_t>(n));
+  std::iota(id.begin(), id.end(), 0);
+  return id;
+}
+
+/// Cyclic shift plus a long-range band: no structural diagonal anywhere.
+Csr shifted_cycle(index_t n) {
+  Coo coo;
+  coo.n = n;
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, (i + 1) % n, 3.0 + i % 5);
+    coo.add(i, (i + 7) % n, 1.0);
+  }
+  return coo_to_csr(coo);
+}
+
+// ---------------------------------------------------------- matching --
+
+TEST(ParallelPreprocess, MatchingRepairsShiftedDiagonal) {
+  const Csr a = shifted_cycle(40);
+  ASSERT_FALSE(has_full_diagonal(a));
+  gpusim::Device dev = test_device();
+  const Permutation q = parallel_diagonal_matching(dev, a);
+  EXPECT_TRUE(is_permutation(q));
+  EXPECT_TRUE(has_full_diagonal(permute(a, identity_perm(40), q)));
+  // It really ran on the device.
+  EXPECT_GT(dev.stats().host_launches, 0u);
+  EXPECT_GT(dev.stats().kernel_ops, 0u);
+}
+
+TEST(ParallelPreprocess, MatchingPrefersLargeMagnitudes) {
+  Coo coo;
+  coo.n = 2;
+  coo.add(0, 0, 10.0);
+  coo.add(0, 1, 0.1);
+  coo.add(1, 0, 0.1);
+  coo.add(1, 1, 10.0);
+  gpusim::Device dev = test_device();
+  const Permutation q = parallel_diagonal_matching(dev, coo_to_csr(coo));
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 1);
+}
+
+TEST(ParallelPreprocess, MatchingCoversAugmentingPathCases) {
+  // Greedy propose/dispose alone cannot finish this one: rows compete for
+  // the same strong columns, so phase 2's augmenting searches must fire.
+  Coo coo;
+  coo.n = 6;
+  for (index_t i = 0; i < 6; ++i) {
+    coo.add(i, 0, 100.0 - i);                      // everyone wants column 0
+    coo.add(i, (i * 3 + 1) % 6, 1.0 + i * 0.25);   // scattered alternatives
+    coo.add(i, (i * 5 + 2) % 6, 0.5);
+  }
+  const Csr a = coo_to_csr(coo);
+  gpusim::Device dev = test_device();
+  const Permutation q = parallel_diagonal_matching(dev, a);
+  EXPECT_TRUE(is_permutation(q));
+  EXPECT_TRUE(has_full_diagonal(permute(a, identity_perm(6), q)));
+}
+
+TEST(ParallelPreprocess, MatchingAgreesWithSerialOnCircuitClass) {
+  // Validity equivalence (not bit-equality: tie-breaking may differ when
+  // magnitudes collide): both modes must produce full structural
+  // diagonals on the same inputs.
+  for (std::uint64_t seed : {3u, 9u, 21u}) {
+    Csr a = gen_circuit(300, 4.0, 2, 12, seed);
+    // Destroy the structural diagonal with a fixed column shuffle so
+    // matching has real work to do.
+    a = permute(a, identity_perm(a.n), random_perm(a.n, seed ^ 0x5a5a));
+    const Permutation qs = diagonal_matching(a);
+    gpusim::Device dev = test_device();
+    const Permutation qp = parallel_diagonal_matching(dev, a);
+    EXPECT_TRUE(is_permutation(qp));
+    const Permutation id = identity_perm(a.n);
+    EXPECT_TRUE(has_full_diagonal(permute(a, id, qs)));
+    EXPECT_TRUE(has_full_diagonal(permute(a, id, qp)));
+  }
+}
+
+TEST(ParallelPreprocess, MatchingStructuredErrorNamesColumns) {
+  Coo coo;
+  coo.n = 3;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);  // rows 1 and 2 both only hit column 0
+  coo.add(2, 0, 1.0);
+  const Csr a = coo_to_csr(coo);
+  gpusim::Device dev = test_device();
+  try {
+    parallel_diagonal_matching(dev, a);
+    FAIL() << "expected FactorError{StructurallySingular}";
+  } catch (const FactorError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::StructurallySingular);
+    EXPECT_EQ(e.phase(), "preprocess");
+    // Columns 1 and 2 are uncoverable; the error is localized to the
+    // first one and the message names both.
+    EXPECT_EQ(e.column(), 1);
+    EXPECT_NE(std::string(e.what()).find("2 column(s) unmatched"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- ordering --
+
+TEST(ParallelPreprocess, AmdFillWithinBandOfSerialOracle) {
+  // The bench gate in miniature: on every test matrix the parallel
+  // ordering's fill must land within 10% of (or beat) the serial oracle.
+  const Csr grid = gen_grid2d(18, 18);
+  const Permutation shuffle = random_perm(grid.n, 8);
+  std::vector<Csr> suite;
+  suite.push_back(permute(grid, shuffle, shuffle));
+  suite.push_back(gen_circuit(350, 4.0, 3, 14, 77));
+  suite.push_back(gen_blocked_planar(300, 30, 3.2, 4, 10));
+  for (const Csr& a : suite) {
+    MinDegreeStats serial_stats;
+    const Permutation ps = min_degree_ordering(a, {}, &serial_stats);
+    gpusim::Device dev = test_device();
+    MinDegreeStats par_stats;
+    const Permutation pp = parallel_min_degree_ordering(dev, a, {}, &par_stats);
+    ASSERT_TRUE(is_permutation(pp));
+    const auto fill_s =
+        static_cast<double>(symbolic::fill_of_ordering(a, ps));
+    const auto fill_p =
+        static_cast<double>(symbolic::fill_of_ordering(a, pp));
+    EXPECT_LE(fill_p, fill_s * 1.10)
+        << "parallel fill " << fill_p << " vs serial " << fill_s;
+    EXPECT_GT(par_stats.rounds, 0);
+    EXPECT_GT(par_stats.ops, 0u);
+    EXPECT_GT(dev.stats().host_launches, 0u);
+  }
+}
+
+TEST(ParallelPreprocess, AmdHandlesDisconnectedGraphs) {
+  const Csr a = gen_blocked_planar(240, 24, 3.0, 4, 5);
+  gpusim::Device dev = test_device();
+  EXPECT_TRUE(is_permutation(parallel_min_degree_ordering(dev, a)));
+}
+
+TEST(ParallelPreprocess, AmdMergesSupernodes) {
+  // A clique of indistinguishable vertices: hash-based supernode
+  // detection should absorb most of them into one representative.
+  Coo coo;
+  coo.n = 24;
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) coo.add(i, j, 1.0);  // dense 8-clique
+  }
+  for (index_t i = 8; i < 24; ++i) {
+    coo.add(i, i, 1.0);
+    coo.add(i, (i + 1 == 24 ? 8 : i + 1), 1.0);  // sparse cycle alongside
+  }
+  const Csr a = coo_to_csr(coo);
+  gpusim::Device dev = test_device();
+  MinDegreeStats stats;
+  const Permutation p = parallel_min_degree_ordering(dev, a, {}, &stats);
+  EXPECT_TRUE(is_permutation(p));
+  EXPECT_GT(stats.supernodes_merged, 0);
+}
+
+TEST(ParallelPreprocess, DensifyGuardFallsBackToRcm) {
+  // Dense-ish random pattern: elimination blows up quadratically; the
+  // cap must trip on the parallel path exactly as on the serial one.
+  Rng rng(4242);
+  Coo coo;
+  coo.n = 160;
+  for (index_t i = 0; i < coo.n; ++i) {
+    coo.add(i, i, 4.0);
+    for (int k = 0; k < 6; ++k) {
+      const auto j = static_cast<index_t>(rng.next_below(coo.n));
+      if (j != i) coo.add(i, j, 1.0);
+    }
+  }
+  const Csr a = coo_to_csr(coo);
+  PreprocessOptions opt;
+  opt.densify_cap = 1.05;  // low cap: force the guard
+  gpusim::Device dev = test_device();
+  MinDegreeStats stats;
+  const Permutation p = parallel_min_degree_ordering(dev, a, opt, &stats);
+  EXPECT_TRUE(is_permutation(p));
+  EXPECT_GE(stats.rcm_fallback_at, 0);
+  EXPECT_LT(stats.rcm_fallback_at, a.n);
+  // The guard bounds the blowup: peak live adjacency stays near the cap,
+  // far below the ~n^2 entries unguarded elimination reaches here.
+  EXPECT_LT(stats.peak_adjacency,
+            static_cast<std::size_t>(a.n) * static_cast<std::size_t>(a.n) / 4);
+}
+
+// ------------------------------------------------------------ scaling --
+
+TEST(ParallelPreprocess, EquilibrateBitIdenticalToSerial) {
+  Csr serial_a = gen_banded(120, 9, 5.0, 31);
+  for (auto& v : serial_a.values) v *= 977.0;
+  Csr parallel_a = serial_a;
+
+  const Scaling ss = equilibrate(serial_a);
+  gpusim::Device dev = test_device();
+  const Scaling sp = parallel_equilibrate(dev, parallel_a);
+
+  // Bit-identical, not approximately equal: each element sees the same
+  // two multiplies in both modes.
+  EXPECT_EQ(serial_a.values, parallel_a.values);
+  EXPECT_EQ(ss.row_scale, sp.row_scale);
+  EXPECT_EQ(ss.col_scale, sp.col_scale);
+  EXPECT_GT(dev.stats().host_launches, 0u);
+}
+
+// ------------------------------------------------------- determinism --
+
+TEST(ParallelPreprocess, DeterministicAcrossPoolSizes) {
+  // DESIGN.md 6i: fixed seed + same device config => identical results
+  // regardless of how many workers execute the blocks.
+  const Csr grid = gen_grid2d(16, 16);
+  const Permutation shuffle = random_perm(grid.n, 5);
+  Csr a = permute(grid, shuffle, shuffle);
+  Csr shifted = permute(a, identity_perm(a.n), random_perm(a.n, 99));
+
+  ThreadPool one_thread(1);
+  ThreadPool four_threads(4);
+
+  gpusim::Device dev1 = test_device();
+  dev1.use_pool(one_thread);
+  gpusim::Device dev4 = test_device();
+  dev4.use_pool(four_threads);
+
+  EXPECT_EQ(parallel_min_degree_ordering(dev1, a),
+            parallel_min_degree_ordering(dev4, a));
+  EXPECT_EQ(parallel_diagonal_matching(dev1, shifted),
+            parallel_diagonal_matching(dev4, shifted));
+
+  Csr s1 = a, s4 = a;
+  parallel_equilibrate(dev1, s1);
+  parallel_equilibrate(dev4, s4);
+  EXPECT_EQ(s1.values, s4.values);
+
+  // And run-to-run on the same device: a second call sees the same input
+  // and must reproduce the first bit-for-bit.
+  EXPECT_EQ(parallel_min_degree_ordering(dev1, a),
+            parallel_min_degree_ordering(dev1, a));
+}
+
+TEST(ParallelPreprocess, SeedChangesTieBreakingOnly) {
+  // A different seed may reorder ties but must still produce a valid
+  // permutation with comparable fill.
+  const Csr a = gen_circuit(260, 4.0, 2, 10, 55);
+  gpusim::Device dev = test_device();
+  PreprocessOptions opt;
+  const Permutation p0 = parallel_min_degree_ordering(dev, a, opt);
+  opt.seed = 0x1234abcd;
+  const Permutation p1 = parallel_min_degree_ordering(dev, a, opt);
+  EXPECT_TRUE(is_permutation(p0));
+  EXPECT_TRUE(is_permutation(p1));
+  const auto f0 = static_cast<double>(symbolic::fill_of_ordering(a, p0));
+  const auto f1 = static_cast<double>(symbolic::fill_of_ordering(a, p1));
+  EXPECT_LE(std::abs(f0 - f1), 0.25 * std::max(f0, f1));
+}
+
+// --------------------------------------------------------- edge cases --
+
+TEST(ParallelPreprocess, EmptyAndSingletonMatrices) {
+  gpusim::Device dev = test_device();
+
+  Csr empty(0);
+  EXPECT_TRUE(parallel_diagonal_matching(dev, empty).empty());
+  EXPECT_TRUE(parallel_min_degree_ordering(dev, empty).empty());
+  parallel_equilibrate(dev, empty);
+
+  Coo coo;
+  coo.n = 1;
+  coo.add(0, 0, 2.0);
+  Csr one = coo_to_csr(coo);
+  EXPECT_EQ(parallel_diagonal_matching(dev, one), Permutation{0});
+  EXPECT_EQ(parallel_min_degree_ordering(dev, one), Permutation{0});
+  const Scaling s = parallel_equilibrate(dev, one);
+  EXPECT_DOUBLE_EQ(one.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.row_scale[0], 0.5);
+}
+
+// ------------------------------------------------- pipeline end-to-end --
+
+Options parallel_pipeline_options() {
+  Options opt;
+  opt.device = gpusim::DeviceSpec::v100_with_memory(64u << 20);
+  opt.preprocess.mode = PreprocessMode::GpuParallel;
+  return opt;
+}
+
+TEST(ParallelPreprocess, PipelineFactorsAndSolvesUnderGpuMode) {
+  const Csr a = gen_circuit(400, 5.0, 3, 16, 0xfeed);
+  std::vector<value_t> b(static_cast<std::size_t>(a.n));
+  Rng rng(17);
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+
+  Options serial_opt = parallel_pipeline_options();
+  serial_opt.preprocess.mode = PreprocessMode::Serial;
+  serial_opt.ordering = Ordering::MinDegree;
+  Options par_opt = parallel_pipeline_options();
+  par_opt.ordering = Ordering::MinDegree;
+
+  const FactorResult fs = SparseLU(serial_opt).factorize(a);
+  const FactorResult fp = SparseLU(par_opt).factorize(a);
+
+  // Both modes solve to comparable accuracy (the bench's residual-
+  // convergence gate in miniature).
+  EXPECT_LT(SparseLU::residual(a, SparseLU::solve(fs, b), b), 1e-8);
+  EXPECT_LT(SparseLU::residual(a, SparseLU::solve(fp, b), b), 1e-8);
+
+  // The parallel preprocess really executed on the device: its sub-phase
+  // reports carry kernel launches, and the serial mode's carry none.
+  EXPECT_GT(fp.preprocess_order.launches, 0u);
+  EXPECT_EQ(fs.preprocess_order.launches, 0u);
+  EXPECT_GT(fp.preprocess.sim_us, 0.0);
+}
+
+TEST(ParallelPreprocess, PipelineSubPhasesTilePreprocessOps) {
+  Options opt = parallel_pipeline_options();
+  opt.ordering = Ordering::MinDegree;
+  opt.preprocess.equilibrate = true;
+  // Destroyed diagonal: matching, ordering, and scaling all run.
+  Csr a = gen_circuit(350, 4.0, 2, 12, 0xc0de);
+  a = permute(a, identity_perm(a.n), random_perm(a.n, 0x77));
+
+  const FactorResult f = SparseLU(opt).factorize(a);
+  EXPECT_GT(f.preprocess_match.ops, 0u);
+  EXPECT_GT(f.preprocess_order.ops, 0u);
+  EXPECT_GT(f.preprocess_scale.ops, 0u);
+  // Sub-phase ops are contained in the preprocess aggregate.
+  EXPECT_GE(f.preprocess.ops, f.preprocess_match.ops +
+                                  f.preprocess_order.ops +
+                                  f.preprocess_scale.ops);
+  EXPECT_GE(f.preprocess.launches, f.preprocess_match.launches +
+                                       f.preprocess_order.launches +
+                                       f.preprocess_scale.launches);
+}
+
+TEST(ParallelPreprocess, ScalingRoundTripsThroughSolve) {
+  // Equilibration must be invisible to the caller: solve() undoes the
+  // scales, serial and parallel mode alike.
+  Csr wild = gen_banded(200, 10, 6.0, 23);
+  Rng rng(5);
+  for (auto& v : wild.values) {
+    v *= std::pow(10.0, rng.next_double(-3.0, 3.0));
+  }
+  std::vector<value_t> b(static_cast<std::size_t>(wild.n));
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+
+  for (PreprocessMode mode : {PreprocessMode::Serial,
+                              PreprocessMode::GpuParallel}) {
+    Options opt = parallel_pipeline_options();
+    opt.preprocess.mode = mode;
+    opt.preprocess.equilibrate = true;
+    const FactorResult f = SparseLU(opt).factorize(wild);
+    ASSERT_TRUE(f.scaling.enabled());
+    // The residual is computed against the ORIGINAL (unscaled) matrix:
+    // a small residual means solve() correctly un-did the scales.
+    EXPECT_LT(SparseLU::residual(wild, SparseLU::solve(f, b), b), 1e-6)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+}  // namespace
+}  // namespace e2elu

@@ -335,6 +335,64 @@ TEST(Telemetry, JobResultCarriesItsReport) {
   EXPECT_DOUBLE_EQ(warm.report.solve_us, 0.0);
 }
 
+TEST(Telemetry, PreprocessSubPhasesTileExactly) {
+  MetricsRegistry::global().clear();
+  FactorServiceOptions opt = service_options();
+  // All three sub-phases get traffic: destroyed diagonal (matching),
+  // min-degree ordering, equilibration — on the GPU-parallel path.
+  opt.pipeline.match_diagonal = true;
+  opt.pipeline.ordering = Ordering::MinDegree;
+  opt.pipeline.preprocess.mode = PreprocessMode::GpuParallel;
+  opt.pipeline.preprocess.equilibrate = true;
+  FactorService svc(opt);
+
+  Coo coo;
+  coo.n = 300;
+  for (index_t i = 0; i < coo.n; ++i) {
+    coo.add(i, (i + 1) % coo.n, 3.0 + i % 7);
+    coo.add(i, (i + 9) % coo.n, 1.0);
+    coo.add(i, (i * 13 + 4) % coo.n, 0.5);
+  }
+  const Csr a = coo_to_csr(coo);
+
+  const JobResult cold = svc.submit(a, std::nullopt, "acme", 0).get();
+  const JobReport& r = cold.report;
+  EXPECT_GT(r.preprocess_match_us, 0.0);
+  EXPECT_GT(r.preprocess_order_us, 0.0);
+  EXPECT_GT(r.preprocess_scale_us, 0.0);
+  EXPECT_GE(r.preprocess_other_us, 0.0);
+  // The sub-phases tile the preprocess total exactly, by construction.
+  EXPECT_DOUBLE_EQ(r.preprocess_total_us,
+                   r.preprocess_match_us + r.preprocess_order_us +
+                       r.preprocess_scale_us + r.preprocess_other_us);
+  // ... and the preprocess stage is contained in the cold build, so the
+  // top-level tiling invariant is untouched.
+  EXPECT_LE(r.preprocess_total_us, r.build_us);
+  EXPECT_DOUBLE_EQ(r.total_us, r.queue_wait_us + r.cache_lookup_us +
+                                   r.build_us + r.replay_us + r.solve_us +
+                                   r.other_us);
+
+  // Warm replays skip preprocessing entirely: all sub-phase fields zero.
+  // (Manual value drift: gen_value_drift needs a structural diagonal,
+  // which this fixture deliberately lacks.)
+  Csr drifted = a;
+  for (auto& v : drifted.values) v *= 1.0001;
+  const JobResult warm =
+      svc.submit(drifted, std::nullopt, "acme", 0).get();
+  ASSERT_TRUE(warm.report.replayed);
+  EXPECT_DOUBLE_EQ(warm.report.preprocess_total_us, 0.0);
+  EXPECT_DOUBLE_EQ(warm.report.preprocess_match_us, 0.0);
+  EXPECT_DOUBLE_EQ(warm.report.preprocess_order_us, 0.0);
+  EXPECT_DOUBLE_EQ(warm.report.preprocess_scale_us, 0.0);
+  EXPECT_DOUBLE_EQ(warm.report.preprocess_other_us, 0.0);
+
+  // The histograms saw exactly the one cold build.
+  const auto hists = MetricsRegistry::global().histograms_snapshot();
+  EXPECT_EQ(hists.at("service.preprocess_match_us").count, 1u);
+  EXPECT_EQ(hists.at("service.preprocess_order_us").count, 1u);
+  EXPECT_EQ(hists.at("service.preprocess_scale_us").count, 1u);
+}
+
 // -------------------------------------------------------- flight recorder --
 
 TEST(FlightRecorder, LatencyOutlierTriggersIncidentDump) {
